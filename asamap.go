@@ -1,0 +1,147 @@
+// Package asamap is a Go reproduction of "Fast Community Detection in Graphs
+// with Infomap Method using Accelerated Sparse Accumulation" (Faysal et al.,
+// IPDPS Workshops 2023): a shared-memory parallel Infomap community detector
+// whose hot sparse-accumulation kernel runs over pluggable backends — the
+// software hash table baseline or a functional model of the ASA
+// content-addressable-memory accelerator — together with the hardware cost
+// model, graph generators, baselines, and benchmark harness that regenerate
+// the paper's evaluation.
+//
+// This file is the public facade: it re-exports the types a downstream user
+// needs so the library is usable without reaching into internal packages.
+//
+//	g, _, err := asamap.ReadGraphFile("network.txt", false)
+//	res, err := asamap.DetectCommunities(g, asamap.DefaultOptions())
+//	fmt.Println(res.NumModules, res.Codelength)
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// paper-reproduction inventory.
+package asamap
+
+import (
+	"io"
+
+	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/louvain"
+	"github.com/asamap/asamap/internal/metrics"
+)
+
+// Graph is a weighted graph in compressed-sparse-row form. Build one with
+// NewGraphBuilder or load one with ReadGraph/ReadGraphFile.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and freezes them into a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int, directed bool) *GraphBuilder {
+	return graph.NewBuilder(n, directed)
+}
+
+// ReadGraph parses a SNAP-style edge list ("from to [weight]" lines, '#'
+// comments) and returns the graph plus the original vertex labels.
+func ReadGraph(r io.Reader, directed bool) (*Graph, []uint64, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// ReadGraphFile is ReadGraph over a file path.
+func ReadGraphFile(path string, directed bool) (*Graph, []uint64, error) {
+	return graph.ReadEdgeListFile(path, directed)
+}
+
+// Options configures community detection; start from DefaultOptions.
+type Options = infomap.Options
+
+// Result is the outcome of DetectCommunities.
+type Result = infomap.Result
+
+// AccumKind selects the sparse-accumulation backend of the hot kernel.
+type AccumKind = infomap.AccumKind
+
+// Accumulation backends.
+const (
+	// BaselineAccumulator is the software chained hash table (the paper's
+	// Baseline, modeled on std::unordered_map).
+	BaselineAccumulator = infomap.Baseline
+	// ASAAccumulator is the Accelerated Sparse Accumulation CAM model (the
+	// paper's contribution).
+	ASAAccumulator = infomap.ASA
+	// GoMapAccumulator is Go's builtin map (reference backend).
+	GoMapAccumulator = infomap.GoMap
+)
+
+// Teleportation selects how directed-graph teleportation enters the code.
+type Teleportation = infomap.Teleportation
+
+// Teleportation models for directed graphs.
+const (
+	// TeleportRecorded encodes teleportation steps (the paper's model).
+	TeleportRecorded = infomap.TeleportRecorded
+	// TeleportUnrecorded prices arc flows only (modern Infomap default).
+	TeleportUnrecorded = infomap.TeleportUnrecorded
+)
+
+// ASAConfig configures the per-worker CAM for the ASA backend.
+type ASAConfig = asa.Config
+
+// DefaultASAConfig returns the paper's headline CAM: 8KB, 16-byte entries,
+// LRU replacement.
+func DefaultASAConfig() ASAConfig { return asa.DefaultConfig() }
+
+// DefaultOptions returns the standard configuration (Baseline backend, one
+// worker).
+func DefaultOptions() Options { return infomap.DefaultOptions() }
+
+// DetectCommunities minimizes the map equation on g and returns the
+// partition, its codelength, kernel timings, and accumulator event counts.
+func DetectCommunities(g *Graph, opt Options) (*Result, error) {
+	return infomap.Run(g, opt)
+}
+
+// CommunityModules groups vertex IDs by module.
+func CommunityModules(membership []uint32) [][]int {
+	return infomap.Modules(membership)
+}
+
+// HierResult is the outcome of DetectCommunitiesHierarchical: a tree of
+// modules optimized under the hierarchical map equation.
+type HierResult = infomap.HierResult
+
+// HierNode is one module of a hierarchical result.
+type HierNode = infomap.HierNode
+
+// DetectCommunitiesHierarchical detects a multi-level community hierarchy by
+// minimizing the hierarchical map equation (Rosvall & Bergstrom 2011): the
+// flat two-level solution is refined by splitting modules into submodules
+// and grouping modules under super modules wherever that shortens the code.
+func DetectCommunitiesHierarchical(g *Graph, opt Options) (*HierResult, error) {
+	return infomap.RunHierarchical(g, opt)
+}
+
+// LouvainOptions configures the modularity-based baseline.
+type LouvainOptions = louvain.Options
+
+// LouvainResult is the outcome of DetectCommunitiesLouvain.
+type LouvainResult = louvain.Result
+
+// DefaultLouvainOptions returns the classic Louvain parameterization.
+func DefaultLouvainOptions() LouvainOptions { return louvain.DefaultOptions() }
+
+// DetectCommunitiesLouvain runs the Louvain modularity baseline (undirected
+// graphs only).
+func DetectCommunitiesLouvain(g *Graph, opt LouvainOptions) (*LouvainResult, error) {
+	return louvain.Run(g, opt)
+}
+
+// Modularity returns Newman's modularity of a partition at resolution gamma.
+func Modularity(g *Graph, membership []uint32, gamma float64) float64 {
+	return louvain.Modularity(g, membership, gamma)
+}
+
+// NMI returns the normalized mutual information between two labelings.
+func NMI(a, b []uint32) (float64, error) { return metrics.NMI(a, b) }
+
+// ARI returns the adjusted Rand index between two labelings.
+func ARI(a, b []uint32) (float64, error) { return metrics.ARI(a, b) }

@@ -1,0 +1,73 @@
+package asamap_test
+
+import (
+	"strings"
+	"testing"
+
+	asamap "github.com/asamap/asamap"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a graph, detect communities with both backends, compare with
+// the Louvain baseline and the quality metrics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b := asamap.NewGraphBuilder(6, false)
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	opt := asamap.DefaultOptions()
+	opt.Kind = asamap.ASAAccumulator
+	opt.ASAConfig = asamap.DefaultASAConfig()
+	res, err := asamap.DetectCommunities(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 2 {
+		t.Fatalf("facade run found %d modules", res.NumModules)
+	}
+	mods := asamap.CommunityModules(res.Membership)
+	if len(mods) != 2 || len(mods[0])+len(mods[1]) != 6 {
+		t.Fatalf("modules: %v", mods)
+	}
+
+	lv, err := asamap.DetectCommunitiesLouvain(g, asamap.DefaultLouvainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := asamap.NMI(res.Membership, lv.Membership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.99 {
+		t.Fatalf("Infomap and Louvain disagree on the trivial graph: NMI %g", nmi)
+	}
+	ari, err := asamap.ARI(res.Membership, lv.Membership)
+	if err != nil || ari < 0.99 {
+		t.Fatalf("ARI %g (%v)", ari, err)
+	}
+	if q := asamap.Modularity(g, res.Membership, 1); q < 0.3 {
+		t.Fatalf("modularity %g", q)
+	}
+}
+
+func TestPublicAPIReadGraph(t *testing.T) {
+	input := "# comment\n1 2\n2 3 1.5\n"
+	g, labels, err := asamap.ReadGraph(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || len(labels) != 3 {
+		t.Fatalf("N=%d labels=%v", g.N(), labels)
+	}
+	res, err := asamap.DetectCommunities(g, asamap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Membership) != 3 {
+		t.Fatal("membership length wrong")
+	}
+}

@@ -1,0 +1,75 @@
+// Command asabench regenerates the paper's evaluation: every table and
+// figure, plus the extension and ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	asabench -exp all                 # run the full evaluation
+//	asabench -exp table5              # one experiment
+//	asabench -list                    # show available experiments
+//	asabench -exp fig6 -quick         # small replicas (seconds, not minutes)
+//	asabench -exp fig8 -scale 128     # override the replica scale divisor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/asamap/asamap/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "use small replicas for a fast smoke run")
+	seed := flag.Uint64("seed", 1, "seed for generators and runs")
+	scale := flag.Int("scale", 0, "override the replica scale divisor (0 = per-network default)")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for multi-core experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.ScaleOverride = *scale
+	if *workers != "" {
+		var ws []int
+		for _, f := range strings.Split(*workers, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "asabench: bad -workers entry %q\n", f)
+				os.Exit(2)
+			}
+			ws = append(ws, v)
+		}
+		cfg.Workers = ws
+	}
+
+	if *exp == "all" {
+		if err := bench.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "asabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, err := bench.ByID(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asabench: %v (use -list)\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+	if err := e.Run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "asabench: %v\n", err)
+		os.Exit(1)
+	}
+}

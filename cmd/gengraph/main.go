@@ -1,0 +1,104 @@
+// Command gengraph generates synthetic networks in SNAP edge-list format:
+// the Table I replicas, LFR benchmark graphs (with ground-truth output), and
+// generic power-law graphs.
+//
+// Usage:
+//
+//	gengraph -kind replica -name soc-Pokec -scale 32 -out pokec.txt
+//	gengraph -kind lfr -n 10000 -mu 0.3 -out lfr.txt -truth lfr.truth
+//	gengraph -kind chunglu -n 100000 -avgdeg 12 -exp 2.3 -out cl.txt
+//	gengraph -kind rmat -rmat-scale 16 -edgefactor 16 -out rmat.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asamap/asamap/internal/dataset"
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+func main() {
+	kind := flag.String("kind", "replica", "generator: replica | lfr | chunglu | rmat")
+	out := flag.String("out", "", "output edge-list path; required")
+	seed := flag.Uint64("seed", 1, "generator seed")
+
+	name := flag.String("name", "soc-Pokec", "replica: Table I network name")
+	scale := flag.Int("scale", 0, "replica: scale divisor (0 = network default)")
+
+	n := flag.Int("n", 10000, "lfr/chunglu: vertex count")
+	mu := flag.Float64("mu", 0.3, "lfr: mixing parameter")
+	truth := flag.String("truth", "", "lfr: write planted 'vertex<TAB>community' lines here")
+
+	avgdeg := flag.Float64("avgdeg", 10, "chunglu: average degree")
+	exponent := flag.Float64("exp", 2.5, "chunglu: degree power-law exponent")
+
+	rmatScale := flag.Int("rmat-scale", 14, "rmat: log2 of vertex count")
+	edgeFactor := flag.Int("edgefactor", 16, "rmat: edges per vertex")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gengraph: -out is required")
+		os.Exit(2)
+	}
+
+	var (
+		g       *graph.Graph
+		planted []uint32
+		err     error
+	)
+	r := rng.New(*seed)
+	switch *kind {
+	case "replica":
+		var spec dataset.Spec
+		spec, err = dataset.ByName(*name)
+		if err == nil {
+			g, err = spec.Generate(*scale, *seed)
+		}
+	case "lfr":
+		g, planted, err = gen.LFR(gen.DefaultLFR(*n, *mu), r)
+	case "chunglu":
+		maxDeg := *n / 4
+		degrees := gen.DegreeSequenceWithMean(*n, *avgdeg, maxDeg, *exponent, r)
+		g, err = gen.ChungLu(degrees, r)
+	case "rmat":
+		g, err = gen.RMAT(*rmatScale, *edgeFactor, r)
+	default:
+		err = fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := g.WriteEdgeListFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.N(), g.NumEdges())
+
+	if *truth != "" && planted != nil {
+		f, err := os.Create(*truth)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		for v, c := range planted {
+			fmt.Fprintf(bw, "%d\t%d\n", v, c)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote ground truth to %s\n", *truth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,206 @@
+// Command infomap detects communities in a SNAP-format edge-list file using
+// the parallel Infomap implementation, with a choice of sparse-accumulation
+// backend (software hash baseline, ASA accelerator model, or Go map).
+//
+// Usage:
+//
+//	infomap -in graph.txt                       # undirected, baseline backend
+//	infomap -in graph.txt -directed -accum asa  # directed, ASA backend
+//	infomap -in graph.txt -out communities.txt  # write "vertex module" lines
+//	infomap -in graph.txt -workers 4 -stats     # parallel run + kernel stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/export"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/pagerank"
+	"github.com/asamap/asamap/internal/perf"
+)
+
+func main() {
+	in := flag.String("in", "", "input edge-list file (SNAP format); required")
+	out := flag.String("out", "", "output file for 'vertex<TAB>module' lines (default: stdout summary only)")
+	directed := flag.Bool("directed", false, "treat edges as directed arcs")
+	accumKind := flag.String("accum", "baseline", "accumulator backend: baseline | asa | gomap")
+	camKB := flag.Int("cam-kb", 8, "CAM size in KB for the asa backend")
+	workers := flag.Int("workers", 1, "parallel workers")
+	seed := flag.Uint64("seed", 1, "seed for the visitation order")
+	stats := flag.Bool("stats", false, "print kernel breakdown and modeled hardware counters")
+	hierarchical := flag.Bool("hierarchical", false, "detect a multi-level hierarchy (hierarchical map equation)")
+	teleport := flag.String("teleport", "recorded", "directed teleportation model: recorded | unrecorded")
+	tree := flag.String("tree", "", "write the hierarchy in Infomap .tree format to this path (implies -hierarchical)")
+	gexf := flag.String("gexf", "", "write the community-colored graph as GEXF (Gephi) to this path")
+	dot := flag.String("dot", "", "write the community-colored graph as Graphviz DOT to this path")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "infomap: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, labels, err := graph.ReadEdgeListFile(*in, *directed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := infomap.DefaultOptions()
+	opt.Workers = *workers
+	opt.Seed = *seed
+	switch *teleport {
+	case "recorded":
+		opt.Teleport = infomap.TeleportRecorded
+	case "unrecorded":
+		opt.Teleport = infomap.TeleportUnrecorded
+	default:
+		fatal(fmt.Errorf("unknown -teleport %q", *teleport))
+	}
+	switch *accumKind {
+	case "baseline":
+		opt.Kind = infomap.Baseline
+	case "asa":
+		opt.Kind = infomap.ASA
+		opt.ASAConfig = asa.Config{CapacityBytes: *camKB * 1024, EntryBytes: 16, Policy: asa.LRU}
+	case "gomap":
+		opt.Kind = infomap.GoMap
+	default:
+		fatal(fmt.Errorf("unknown -accum %q", *accumKind))
+	}
+
+	res, err := infomap.Run(g, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d arcs (%s)\n", g.N(), g.M(), direction(g))
+	fmt.Printf("result: %s\n", res)
+	fmt.Printf("elapsed: %v (backend %s, %d workers)\n", res.Elapsed, opt.Kind, opt.Workers)
+
+	if *hierarchical || *tree != "" {
+		hres, err := infomap.RunHierarchical(g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hierarchy: %s\n", hres)
+		if *tree != "" {
+			flows, err := nodeFlows(g, opt)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*tree)
+			if err != nil {
+				fatal(err)
+			}
+			if err := hres.WriteTree(f, flows, labels); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Infomap .tree to %s\n", *tree)
+		}
+	}
+	if *gexf != "" {
+		if err := export.WriteGEXFFile(*gexf, g, res.Membership); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote GEXF to %s\n", *gexf)
+	}
+	if *dot != "" {
+		if err := export.WriteDOTFile(*dot, g, res.Membership); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote DOT to %s\n", *dot)
+	}
+
+	if *stats {
+		fmt.Printf("\nkernel breakdown:\n%s", res.Breakdown)
+		machine := perf.Baseline()
+		model := perf.DefaultModel(machine)
+		name := "softhash"
+		switch opt.Kind {
+		case infomap.ASA:
+			name = "asa"
+		case infomap.GoMap:
+			name = "gomap"
+		}
+		hash, err := model.AccumCost(name, res.TotalStats())
+		if err != nil {
+			fatal(err)
+		}
+		kernel := model.KernelCost(res.TotalWork())
+		total := hash
+		total.Add(kernel)
+		fmt.Printf("\nmodeled hardware counters (Baseline machine, %s backend):\n", name)
+		fmt.Printf("  instructions      %14.0f\n", total.Instructions)
+		fmt.Printf("  branches          %14.0f\n", total.Branches)
+		fmt.Printf("  mispredictions    %14.0f\n", total.Mispredicts)
+		fmt.Printf("  CPI               %14.2f\n", total.CPI())
+		fmt.Printf("  hash-op seconds   %14.4f\n", hash.Seconds(machine))
+		fmt.Printf("  total seconds     %14.4f\n", total.Seconds(machine))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		for v, m := range res.Membership {
+			fmt.Fprintf(bw, "%d\t%d\n", labels[v], m)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d assignments to %s\n", len(res.Membership), *out)
+	}
+}
+
+// nodeFlows recomputes the base visit rates for the .tree output.
+func nodeFlows(g *graph.Graph, opt infomap.Options) ([]float64, error) {
+	if !g.Directed() {
+		f, err := mapeq.NewUndirectedFlow(g)
+		if err != nil {
+			return nil, err
+		}
+		return f.NodeFlow, nil
+	}
+	cfg := pagerank.DefaultConfig()
+	cfg.Damping = opt.Damping
+	pr, err := pagerank.Compute(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var f *mapeq.Flow
+	if opt.Teleport == infomap.TeleportUnrecorded {
+		f, err = mapeq.NewDirectedFlowUnrecorded(g, pr.Rank, opt.Damping)
+	} else {
+		f, err = mapeq.NewDirectedFlow(g, pr.Rank, opt.Damping)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f.NodeFlow, nil
+}
+
+func direction(g *graph.Graph) string {
+	if g.Directed() {
+		return "directed"
+	}
+	return "undirected"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "infomap: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command quality scores a community assignment against a reference
+// labeling: NMI, ARI, pairwise precision/recall/F1, and (given the graph)
+// modularity and mean conductance. Assignment files hold one
+// "vertex<TAB>community" pair per line, as written by cmd/infomap and
+// cmd/gengraph.
+//
+// Usage:
+//
+//	quality -pred communities.txt -truth lfr.truth [-graph lfr.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/louvain"
+	"github.com/asamap/asamap/internal/metrics"
+)
+
+func main() {
+	pred := flag.String("pred", "", "predicted assignment file; required")
+	truth := flag.String("truth", "", "reference assignment file; required")
+	graphPath := flag.String("graph", "", "optional edge-list file for modularity/conductance")
+	flag.Parse()
+	if *pred == "" || *truth == "" {
+		fmt.Fprintln(os.Stderr, "quality: -pred and -truth are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := readAssignment(*pred)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := readAssignment(*truth)
+	if err != nil {
+		fatal(err)
+	}
+	if len(p) != len(tr) {
+		fatal(fmt.Errorf("assignments cover %d and %d vertices", len(p), len(tr)))
+	}
+	predLabels, truthLabels := align(p, tr)
+
+	nmi, err := metrics.NMI(predLabels, truthLabels)
+	if err != nil {
+		fatal(err)
+	}
+	ari, err := metrics.ARI(predLabels, truthLabels)
+	if err != nil {
+		fatal(err)
+	}
+	prec, rec, f1, err := metrics.PairwiseF1(predLabels, truthLabels)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vertices:   %d\n", len(predLabels))
+	fmt.Printf("NMI:        %.4f\n", nmi)
+	fmt.Printf("ARI:        %.4f\n", ari)
+	fmt.Printf("pair P/R/F: %.4f / %.4f / %.4f\n", prec, rec, f1)
+
+	if *graphPath != "" {
+		g, labels, err := graph.ReadEdgeListFile(*graphPath, false)
+		if err != nil {
+			fatal(err)
+		}
+		mem := make([]uint32, g.N())
+		for dense, orig := range labels {
+			c, ok := p[orig]
+			if !ok {
+				fatal(fmt.Errorf("graph vertex %d missing from -pred", orig))
+			}
+			mem[dense] = c
+		}
+		q := louvain.Modularity(g, mem, 1)
+		cond, err := metrics.MeanConductance(g, mem)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("modularity: %.4f\n", q)
+		fmt.Printf("mean conductance: %.4f\n", cond)
+	}
+}
+
+// readAssignment parses "vertex<TAB>community" lines.
+func readAssignment(path string) (map[uint64]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[uint64]uint32{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want 'vertex community'", path, line)
+		}
+		v, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad vertex %q", path, line, fields[0])
+		}
+		c, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad community %q", path, line, fields[1])
+		}
+		out[v] = uint32(c)
+	}
+	return out, sc.Err()
+}
+
+// align produces parallel label slices over the common vertex set.
+func align(pred, truth map[uint64]uint32) ([]uint32, []uint32) {
+	var ps, ts []uint32
+	for v, c := range pred {
+		t, ok := truth[v]
+		if !ok {
+			continue
+		}
+		ps = append(ps, c)
+		ts = append(ts, t)
+	}
+	return ps, ts
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "quality: %v\n", err)
+	os.Exit(1)
+}

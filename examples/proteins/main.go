@@ -1,0 +1,91 @@
+// Protein-clustering example: the paper's Figure 1 motivation — grouping
+// proteins by functional similarity. Real protein-interaction data is not
+// shipped, so an LFR benchmark graph stands in: its planted communities play
+// the role of protein families, giving ground truth to score against. The
+// example compares Infomap against the Louvain modularity baseline, the
+// quality comparison the paper cites (Infomap wins on LFR), and demonstrates
+// the resolution-limit case where modularity provably fails.
+//
+// Run with:
+//
+//	go run ./examples/proteins
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/louvain"
+	"github.com/asamap/asamap/internal/metrics"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+func main() {
+	// "Protein families": 3000 proteins in power-law-sized families, with a
+	// third of each protein's interactions crossing family boundaries.
+	r := rng.New(7)
+	g, families, err := gen.LFR(gen.DefaultLFR(3000, 0.3), r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interaction network: %d proteins, %d interactions, %d planted families\n\n",
+		g.N(), g.NumEdges(), countLabels(families))
+
+	im, err := infomap.Run(g, infomap.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lv, err := louvain.Run(g, louvain.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nmiIM, _ := metrics.NMI(im.Membership, families)
+	nmiLV, _ := metrics.NMI(lv.Membership, families)
+	ariIM, _ := metrics.ARI(im.Membership, families)
+	ariLV, _ := metrics.ARI(lv.Membership, families)
+	_, _, f1IM, _ := metrics.PairwiseF1(im.Membership, families)
+	_, _, f1LV, _ := metrics.PairwiseF1(lv.Membership, families)
+
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "method", "families", "NMI", "ARI", "pair F1")
+	fmt.Printf("%-10s %10d %10.4f %10.4f %10.4f\n", "Infomap", im.NumModules, nmiIM, ariIM, f1IM)
+	fmt.Printf("%-10s %10d %10.4f %10.4f %10.4f\n", "Louvain", lv.NumModules, nmiLV, ariLV, f1LV)
+
+	// The resolution-limit demonstration: a ring of 30 five-protein
+	// complexes. (With three-protein complexes even the map equation prefers
+	// pairing adjacent cliques — its much smaller field-of-view limit — so
+	// size 5 is the clean separation case.)
+	fmt.Println("\nresolution limit (ring of 30 five-protein complexes):")
+	ring, _, err := gen.CliqueChain(30, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imR, err := infomap.Run(ring, infomap.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lvR, err := louvain.Run(ring, louvain.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Infomap finds %d complexes (want 30)\n", imR.NumModules)
+	fmt.Printf("  Louvain finds %d complexes (resolution limit merges them)\n", lvR.NumModules)
+
+	// Multi-scale structure: the hierarchical map equation on the same ring
+	// groups the complexes under super modules when that compresses further.
+	hres, err := infomap.RunHierarchical(ring, infomap.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhierarchical view of the ring: %s\n", hres)
+}
+
+func countLabels(m []uint32) int {
+	seen := map[uint32]bool{}
+	for _, c := range m {
+		seen[c] = true
+	}
+	return len(seen)
+}

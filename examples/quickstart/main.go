@@ -1,0 +1,48 @@
+// Quickstart: detect communities in a small social graph with both the
+// software-hash Baseline and the ASA accelerator backend, and verify they
+// find the same structure.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/infomap"
+)
+
+func main() {
+	// Zachary-style toy network: two dense groups joined by one edge.
+	b := graph.NewBuilder(10, false)
+	edges := [][2]uint32{
+		// group A: a 5-clique minus a few edges
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {2, 4},
+		// bridge
+		{4, 5},
+		// group B
+		{5, 6}, {5, 7}, {6, 7}, {6, 8}, {7, 8}, {8, 9}, {7, 9},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	for _, kind := range []infomap.AccumKind{infomap.Baseline, infomap.ASA} {
+		opt := infomap.DefaultOptions()
+		opt.Kind = kind
+		res, err := infomap.Run(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("backend %-8s -> %s\n", kind, res)
+		for m, members := range infomap.Modules(res.Membership) {
+			fmt.Printf("  module %d: %v\n", m, members)
+		}
+	}
+}

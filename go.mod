@@ -1,0 +1,3 @@
+module github.com/asamap/asamap
+
+go 1.22

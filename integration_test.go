@@ -1,0 +1,228 @@
+package asamap_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	asamap "github.com/asamap/asamap"
+	"github.com/asamap/asamap/internal/dataset"
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/louvain"
+	"github.com/asamap/asamap/internal/metrics"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// TestIntegrationLFRQuality is the end-to-end quality claim: on a standard
+// LFR benchmark at moderate mixing, Infomap must essentially recover the
+// planted partition and beat the Louvain modularity baseline — the result
+// the paper cites as Infomap's raison d'être.
+func TestIntegrationLFRQuality(t *testing.T) {
+	g, planted, err := gen.LFR(gen.DefaultLFR(2000, 0.3), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := asamap.DetectCommunities(g, asamap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := louvain.Run(g, louvain.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmiIM, err := metrics.NMI(im.Membership, planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmiLV, err := metrics.NMI(lv.Membership, planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmiIM < 0.95 {
+		t.Fatalf("Infomap NMI %.3f on easy LFR; expected near-perfect recovery", nmiIM)
+	}
+	if nmiIM <= nmiLV-0.02 {
+		t.Fatalf("Infomap NMI %.3f did not beat Louvain %.3f on LFR", nmiIM, nmiLV)
+	}
+}
+
+// TestIntegrationBackendsAgreeOnReplica runs the full pipeline on a Table I
+// replica with all three backends; partitions must have near-identical
+// codelength and near-identical structure (the backends are functionally
+// equivalent accumulators).
+func TestIntegrationBackendsAgreeOnReplica(t *testing.T) {
+	spec, err := dataset.ByName("Amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Generate(spec.DefaultScale*32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*infomap.Result
+	for _, kind := range []infomap.AccumKind{infomap.Baseline, infomap.ASA, infomap.GoMap} {
+		opt := infomap.DefaultOptions()
+		opt.Kind = kind
+		opt.Workers = 2
+		res, err := infomap.Run(g, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		results = append(results, res)
+	}
+	// The backends iterate candidates in different orders (hash-table order
+	// vs sorted-merge order), so equal-ΔL ties can break differently; demand
+	// near-identical quality rather than bitwise-equal partitions.
+	for i := 1; i < len(results); i++ {
+		if math.Abs(results[i].Codelength-results[0].Codelength) > 0.01 {
+			t.Fatalf("codelengths diverge: %g vs %g",
+				results[i].Codelength, results[0].Codelength)
+		}
+		nmi, err := metrics.NMI(results[i].Membership, results[0].Membership)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi < 0.95 {
+			t.Fatalf("backend partitions differ: NMI %.4f", nmi)
+		}
+	}
+}
+
+// TestIntegrationDirectedPipeline exercises the directed path end to end:
+// RMAT graph → PageRank → directed flow → multi-level Infomap.
+func TestIntegrationDirectedPipeline(t *testing.T) {
+	g, err := gen.RMAT(10, 8, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := asamap.DefaultOptions()
+	opt.Kind = asamap.ASAAccumulator
+	opt.Workers = 2
+	res, err := asamap.DetectCommunities(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Codelength > res.OneLevelCodelength+1e-9 {
+		t.Fatalf("directed run worsened codelength: %g vs %g",
+			res.Codelength, res.OneLevelCodelength)
+	}
+	// Membership must be a dense labeling over all vertices.
+	seen := map[uint32]bool{}
+	for _, m := range res.Membership {
+		if int(m) >= res.NumModules {
+			t.Fatalf("module %d >= NumModules %d", m, res.NumModules)
+		}
+		seen[m] = true
+	}
+	if len(seen) != res.NumModules {
+		t.Fatalf("NumModules %d but %d distinct labels", res.NumModules, len(seen))
+	}
+}
+
+// TestIntegrationFileRoundTrip drives the full user workflow through the
+// filesystem: generate → write → read → detect → write assignments.
+func TestIntegrationFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+
+	g, planted, err := gen.LFR(gen.DefaultLFR(500, 0.2), rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, labels, err := asamap.ReadGraphFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("file round trip changed graph: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	res, err := asamap.DetectCommunities(g2, asamap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are a permutation of the original IDs; map the result back.
+	remapped := make([]uint32, g.N())
+	for dense, orig := range labels {
+		remapped[orig] = res.Membership[dense]
+	}
+	nmi, err := metrics.NMI(remapped, planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.9 {
+		t.Fatalf("post-round-trip NMI %.3f", nmi)
+	}
+
+	// Assignments written like cmd/infomap does must be parseable.
+	outPath := filepath.Join(dir, "communities.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, m := range res.Membership {
+		if _, err := f.WriteString(string(rune('0'+int(m)%10)) + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		_ = v
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationWeightedGraph verifies that edge weights steer the
+// partition: strong intra-group weights must dominate uniform topology.
+func TestIntegrationWeightedGraph(t *testing.T) {
+	// K6 with heavy weights inside {0,1,2} and {3,4,5}, light across.
+	b := asamap.NewGraphBuilder(6, false)
+	for u := uint32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			w := 0.05
+			if (u < 3) == (v < 3) {
+				w = 10
+			}
+			if err := b.AddEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := asamap.DetectCommunities(b.Build(), asamap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 2 {
+		t.Fatalf("weighted K6: %d modules, want 2 (%v)", res.NumModules, res.Membership)
+	}
+	if res.Membership[0] != res.Membership[2] || res.Membership[0] == res.Membership[3] {
+		t.Fatalf("weights ignored: %v", res.Membership)
+	}
+}
+
+// TestIntegrationDisconnectedComponents: components must never share a
+// module (no flow connects them).
+func TestIntegrationDisconnectedComponents(t *testing.T) {
+	b := asamap.NewGraphBuilder(9, false)
+	for c := uint32(0); c < 3; c++ {
+		base := c * 3
+		_ = b.AddEdge(base, base+1, 1)
+		_ = b.AddEdge(base+1, base+2, 1)
+		_ = b.AddEdge(base, base+2, 1)
+	}
+	res, err := asamap.DetectCommunities(b.Build(), asamap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 3 {
+		t.Fatalf("3 disconnected triangles: %d modules (%v)", res.NumModules, res.Membership)
+	}
+	for c := 0; c < 3; c++ {
+		if res.Membership[c*3] != res.Membership[c*3+1] || res.Membership[c*3] != res.Membership[c*3+2] {
+			t.Fatalf("component %d split: %v", c, res.Membership)
+		}
+	}
+}

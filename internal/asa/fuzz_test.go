@@ -1,0 +1,44 @@
+package asa
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asamap/asamap/internal/accum"
+)
+
+// FuzzCAMOracle: any accumulate sequence against any (tiny) CAM must match
+// the map oracle after gather+merge, never panic, and stay consistent across
+// a Reset.
+func FuzzCAMOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3}, uint8(2))
+	f.Add([]byte{0}, uint8(1))
+	f.Add([]byte{255, 254, 253, 252, 251}, uint8(3))
+	f.Fuzz(func(t *testing.T, keys []byte, capRaw uint8) {
+		entries := int(capRaw)%8 + 1
+		c, err := New(Config{CapacityBytes: entries * 16, EntryBytes: 16, Policy: LRU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint32]float64{}
+		for i, k := range keys {
+			key := uint32(k % 32)
+			val := float64(i%7) + 0.5
+			c.Accumulate(key, val)
+			oracle[key] += val
+		}
+		got := c.Gather(nil)
+		if len(got) != len(oracle) {
+			t.Fatalf("%d keys gathered, oracle has %d", len(got), len(oracle))
+		}
+		for _, kv := range got {
+			if math.Abs(kv.Value-oracle[kv.Key]) > 1e-9 {
+				t.Fatalf("key %d: %g vs %g", kv.Key, kv.Value, oracle[kv.Key])
+			}
+		}
+		c.Reset()
+		if out := c.Gather([]accum.KV{}); len(out) != 0 {
+			t.Fatalf("reset CAM still holds %v", out)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	// Table I of the paper.
+	want := map[string][2]int{
+		"Amazon":      {334863, 925872},
+		"DBLP":        {317080, 1049866},
+		"YouTube":     {1134890, 2987624},
+		"soc-Pokec":   {1632803, 30622564},
+		"LiveJournal": {3997962, 34681189},
+		"Orkut":       {3072441, 117185083},
+	}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d networks, want %d", len(Registry), len(want))
+	}
+	for _, s := range Registry {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected network %q", s.Name)
+		}
+		if s.PaperVertices != w[0] || s.PaperEdges != w[1] {
+			t.Fatalf("%s: %d/%d, want %d/%d", s.Name, s.PaperVertices, s.PaperEdges, w[0], w[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PaperEdges != 117185083 {
+		t.Fatal("wrong spec returned")
+	}
+	if _, err := ByName("Friendster"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestGenerateReplicaShape(t *testing.T) {
+	s, _ := ByName("DBLP")
+	g, err := s.Generate(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := s.Vertices(32)
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	// Average degree within a factor of the paper's.
+	avg := float64(g.M()) / float64(g.N())
+	if avg < s.AvgDegree()*0.5 || avg > s.AvgDegree()*1.6 {
+		t.Fatalf("replica avg degree %.2f, paper %.2f", avg, s.AvgDegree())
+	}
+	// Power law: hubs exist, most vertices small.
+	if g.MaxOutDegree() < 3*int(s.AvgDegree()) {
+		t.Fatalf("no hubs: max degree %d", g.MaxOutDegree())
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	s, _ := ByName("Amazon")
+	g1, err := s.Generate(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Generate(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.M() != g2.M() {
+		t.Fatal("same seed, different replica")
+	}
+	g3, err := s.Generate(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.M() == g1.M() && g3.TotalWeight() == g1.TotalWeight() {
+		t.Log("warning: different seeds produced identical arc count (possible but unlikely)")
+	}
+}
+
+func TestNetworksDifferUnderSameSeed(t *testing.T) {
+	a, _ := ByName("Amazon")
+	d, _ := ByName("DBLP")
+	ga, err := a.Generate(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := d.Generate(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.N() == gd.N() && ga.M() == gd.M() {
+		t.Fatal("per-network seed perturbation not working")
+	}
+}
+
+func TestVerticesClampAndDefault(t *testing.T) {
+	s, _ := ByName("Amazon")
+	if s.Vertices(0) != s.PaperVertices/s.DefaultScale {
+		t.Fatal("default scale not applied")
+	}
+	if s.Vertices(1<<30) != 100 {
+		t.Fatal("tiny replica not clamped to 100 vertices")
+	}
+}
+
+func TestCAMCoverageFig5Shape(t *testing.T) {
+	// The paper's Figure 5: 1KB CAM (64 entries at 16B) covers >82% of
+	// vertices, 8KB (512 entries) covers >99%.
+	for _, name := range []string{"YouTube", "soc-Pokec", "LiveJournal"} {
+		s, _ := ByName(name)
+		g, err := s.Generate(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := EntriesForBytes([]int{1024, 8192}, 16)
+		cov := CAMCoverage(g, entries)
+		if cov[0] < 0.82 {
+			t.Fatalf("%s: 1KB CAM covers %.1f%%, paper reports >82%%", name, cov[0]*100)
+		}
+		if cov[1] < 0.99 {
+			t.Fatalf("%s: 8KB CAM covers %.2f%%, paper reports >99%%", name, cov[1]*100)
+		}
+	}
+}
+
+func TestEntriesForBytes(t *testing.T) {
+	got := EntriesForBytes([]int{1024, 2048, 8192}, 16)
+	want := []int{64, 128, 512}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EntriesForBytes = %v", got)
+		}
+	}
+}

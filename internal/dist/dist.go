@@ -1,0 +1,365 @@
+// Package dist simulates the distributed-memory layer of HyPC-Map: the paper
+// builds on a hybrid MPI+shared-memory parallel Infomap [14], so this
+// substrate reproduces its structure — vertices block-partitioned across
+// ranks, bulk-synchronous supersteps of local FindBestCommunity sweeps over
+// possibly stale ghost membership, and membership-delta exchange between
+// supersteps — while counting every simulated message and byte. An
+// alpha-beta (latency-bandwidth) model converts the communication volume
+// into modeled time, so the harness can study how the hybrid scheme scales.
+//
+// MPI itself is unavailable (and unnecessary) here: ranks run in one process
+// and the "network" is accounting. What is preserved is the algorithmic
+// behaviour that distribution causes — staleness of remote module state
+// within a superstep and convergence driven by delta exchange.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// Options configures the simulated cluster.
+type Options struct {
+	Ranks          int     // number of simulated MPI ranks
+	MaxSupersteps  int     // BSP superstep bound per level
+	MaxLevels      int     // contraction depth bound
+	MinImprovement float64 // codelength improvement threshold
+	Seed           uint64
+	// Communication model: per-message latency (alpha, seconds) and
+	// per-byte transfer time (1/bandwidth, seconds).
+	AlphaSec       float64
+	BytePerSec     float64 // bytes per second of link bandwidth
+	BytesPerUpdate int     // wire size of one membership delta (vertex, module)
+}
+
+// DefaultOptions returns an 8-rank cluster with 1µs latency, 10 GB/s links,
+// 8-byte membership updates.
+func DefaultOptions() Options {
+	return Options{
+		Ranks:          8,
+		MaxSupersteps:  30,
+		MaxLevels:      30,
+		MinImprovement: 1e-9,
+		Seed:           1,
+		AlphaSec:       1e-6,
+		BytePerSec:     10e9,
+		BytesPerUpdate: 8,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Ranks < 1 {
+		return fmt.Errorf("dist: Ranks %d < 1", o.Ranks)
+	}
+	if o.MaxSupersteps < 1 || o.MaxLevels < 1 {
+		return fmt.Errorf("dist: MaxSupersteps/MaxLevels must be >= 1")
+	}
+	if o.AlphaSec < 0 || o.BytePerSec <= 0 || o.BytesPerUpdate <= 0 {
+		return fmt.Errorf("dist: invalid communication model")
+	}
+	return nil
+}
+
+// CommStats aggregates the simulated communication.
+type CommStats struct {
+	Supersteps     int
+	Messages       uint64 // point-to-point messages (allgather modeled as P·(P−1))
+	Bytes          uint64 // payload bytes moved
+	UpdatesSent    uint64 // membership deltas exchanged
+	ModeledCommSec float64
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Membership         []uint32
+	NumModules         int
+	Codelength         float64
+	OneLevelCodelength float64
+	Levels             int
+	Comm               CommStats
+}
+
+// Run executes the simulated distributed Infomap.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if g.Directed() {
+		return nil, fmt.Errorf("dist: directed graphs not supported by the distributed simulation")
+	}
+	res := &Result{Membership: make([]uint32, g.N())}
+	for i := range res.Membership {
+		res.Membership[i] = uint32(i)
+	}
+	if g.N() == 0 {
+		return res, nil
+	}
+	baseFlow, err := mapeq.NewUndirectedFlow(g)
+	if err != nil {
+		return nil, err
+	}
+	leafState, err := mapeq.NewState(baseFlow, make([]uint32, g.N()), 1)
+	if err != nil {
+		return nil, err
+	}
+	leafNodeTerm := leafState.NodeTerm()
+	res.OneLevelCodelength = mapeq.OneLevelCodelength(baseFlow)
+
+	r := rng.New(opt.Seed)
+	flow := baseFlow
+	for level := 0; level < opt.MaxLevels; level++ {
+		n := flow.G.N()
+		membership := make([]uint32, n)
+		for i := range membership {
+			membership[i] = uint32(i)
+		}
+		res.Levels++
+		moves, err := optimizeLevelDistributed(flow, membership, leafNodeTerm, opt, r, &res.Comm)
+		if err != nil {
+			return nil, err
+		}
+		k := mapeq.CompactMembership(membership)
+		if level == 0 {
+			copy(res.Membership, membership)
+		} else {
+			for v := range res.Membership {
+				res.Membership[v] = membership[res.Membership[v]]
+			}
+		}
+		if moves == 0 || k == n || k == 1 {
+			break
+		}
+		flow, err = flow.Contract(membership, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mem := append([]uint32(nil), res.Membership...)
+	k := mapeq.CompactMembership(mem)
+	copy(res.Membership, mem)
+	final, err := mapeq.NewState(baseFlow, mem, k)
+	if err != nil {
+		return nil, err
+	}
+	res.Codelength = final.Codelength()
+	res.NumModules = k
+	if res.Codelength > res.OneLevelCodelength {
+		for i := range res.Membership {
+			res.Membership[i] = 0
+		}
+		res.Codelength = res.OneLevelCodelength
+		res.NumModules = 1
+	}
+	res.Comm.ModeledCommSec = modeledCommTime(opt, res.Comm)
+	return res, nil
+}
+
+// modeledCommTime applies the alpha-beta model: each superstep performs an
+// allgather of deltas (P·(P−1) messages behind log-tree latency) and the
+// payload crosses the bisection once.
+func modeledCommTime(opt Options, c CommStats) float64 {
+	if opt.Ranks == 1 {
+		return 0
+	}
+	logP := 0
+	for p := 1; p < opt.Ranks; p <<= 1 {
+		logP++
+	}
+	latency := float64(c.Supersteps) * opt.AlphaSec * float64(logP)
+	transfer := float64(c.Bytes) / opt.BytePerSec
+	return latency + transfer
+}
+
+// optimizeLevelDistributed runs BSP supersteps on one level. Each rank owns
+// a contiguous vertex block and evaluates moves against its own snapshot of
+// the global module statistics (stale within the superstep, exactly as a
+// real distributed implementation's ghost state is). Deltas are exchanged
+// and committed at the superstep boundary.
+func optimizeLevelDistributed(flow *mapeq.Flow, membership []uint32, leafNodeTerm float64,
+	opt Options, r *rng.RNG, comm *CommStats) (uint64, error) {
+
+	n := flow.G.N()
+	truth, err := mapeq.NewState(flow, membership, n)
+	if err != nil {
+		return 0, err
+	}
+	truth.OverrideNodeTerm(leafNodeTerm)
+
+	ranks := opt.Ranks
+	if ranks > n {
+		ranks = n
+	}
+	// Block partition (HyPC-Map distributes contiguous vertex ranges).
+	blocks := make([][]uint32, ranks)
+	chunk := (n + ranks - 1) / ranks
+	for rk := 0; rk < ranks; rk++ {
+		lo := rk * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for v := lo; v < hi; v++ {
+			blocks[rk] = append(blocks[rk], uint32(v))
+		}
+	}
+
+	totalMoves := uint64(0)
+	prevL := truth.Codelength()
+	for step := 0; step < opt.MaxSupersteps; step++ {
+		comm.Supersteps++
+		// Each rank evaluates its block against a private snapshot of the
+		// current global membership (ghost copies from the last exchange).
+		type proposal struct {
+			v      uint32
+			target uint32
+		}
+		var proposals []proposal
+		for rk := 0; rk < ranks; rk++ {
+			snapshot := append([]uint32(nil), membership...)
+			rankState, err := mapeq.NewState(flow, snapshot, n)
+			if err != nil {
+				return 0, err
+			}
+			rankState.OverrideNodeTerm(leafNodeTerm)
+			order := append([]uint32(nil), blocks[rk]...)
+			r.ShuffleUint32(order)
+			for _, v := range order {
+				if t, ok := bestMove(flow, rankState, int(v)); ok {
+					proposals = append(proposals, proposal{v: v, target: t})
+				}
+			}
+		}
+		// Superstep boundary: commit improving proposals on the true state
+		// and broadcast the resulting membership deltas.
+		moves := uint64(0)
+		for _, p := range proposals {
+			v := int(p.v)
+			old := truth.Module(v)
+			if old == p.target {
+				continue
+			}
+			oo, io, on, in := commitFlowsLocal(flow, truth, v, old, p.target)
+			view := flow.View(v)
+			if d := truth.DeltaMove(view, p.target, oo, io, on, in); d < 0 {
+				truth.Apply(view, p.target, oo, io, on, in)
+				moves++
+			}
+		}
+		truth.Refresh()
+		if ranks > 1 && moves > 0 {
+			comm.UpdatesSent += moves
+			comm.Bytes += moves * uint64(opt.BytesPerUpdate) * uint64(ranks-1)
+			comm.Messages += uint64(ranks) * uint64(ranks-1)
+		}
+		totalMoves += moves
+		l := truth.Codelength()
+		if moves == 0 || prevL-l < opt.MinImprovement {
+			break
+		}
+		prevL = l
+	}
+	return totalMoves, nil
+}
+
+// bestMove evaluates one vertex against the rank's state snapshot and
+// returns the best target module, if improving.
+func bestMove(flow *mapeq.Flow, st *mapeq.State, v int) (uint32, bool) {
+	g := flow.G
+	old := st.Module(v)
+	outW := map[uint32]float64{}
+	inW := map[uint32]float64{}
+	var keys []uint32
+	lo, _ := g.OutRange(v)
+	nb := g.OutNeighbors(v)
+	for j := range nb {
+		t := int(nb[j])
+		if t == v {
+			continue
+		}
+		m := st.Module(t)
+		if _, ok := outW[m]; !ok {
+			keys = append(keys, m)
+		}
+		outW[m] += flow.OutFlow[lo+j]
+	}
+	ilo, _ := g.InRange(v)
+	in := g.InNeighbors(v)
+	for j := range in {
+		s := int(in[j])
+		if s == v {
+			continue
+		}
+		m := st.Module(s)
+		if _, ok := outW[m]; !ok {
+			if _, ok2 := inW[m]; !ok2 {
+				keys = append(keys, m)
+			}
+		}
+		inW[m] += flow.InFlow[ilo+j]
+	}
+	if len(keys) == 0 {
+		return old, false
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	view := flow.View(v)
+	best, bestDelta := old, 0.0
+	for _, m := range keys {
+		if m == old {
+			continue
+		}
+		d := st.DeltaMove(view, m, outW[old], inW[old], outW[m], inW[m])
+		if d < bestDelta-1e-15 {
+			best, bestDelta = m, d
+		}
+	}
+	return best, best != old
+}
+
+// commitFlowsLocal recomputes the four commit flows against the true state
+// (same role as the shared-memory engine's commit re-check).
+func commitFlowsLocal(flow *mapeq.Flow, st *mapeq.State, v int, old, target uint32) (oo, io, on, in float64) {
+	g := flow.G
+	lo, _ := g.OutRange(v)
+	nb := g.OutNeighbors(v)
+	for j := range nb {
+		t := int(nb[j])
+		if t == v {
+			continue
+		}
+		switch st.Module(t) {
+		case old:
+			oo += flow.OutFlow[lo+j]
+		case target:
+			on += flow.OutFlow[lo+j]
+		}
+	}
+	ilo, _ := g.InRange(v)
+	inn := g.InNeighbors(v)
+	for j := range inn {
+		s := int(inn[j])
+		if s == v {
+			continue
+		}
+		switch st.Module(s) {
+		case old:
+			io += flow.InFlow[ilo+j]
+		case target:
+			in += flow.InFlow[ilo+j]
+		}
+	}
+	return
+}
+
+// Compare runs the shared-memory engine on the same graph for quality
+// comparison (convenience for the harness).
+func Compare(g *graph.Graph, seed uint64) (*infomap.Result, error) {
+	opt := infomap.DefaultOptions()
+	opt.Seed = seed
+	return infomap.Run(g, opt)
+}

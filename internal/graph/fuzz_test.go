@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary input must never panic; accepted input must
+// produce a graph that validates and survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n5 5 2.5\n")
+	f.Add("0 1 0.1\n1 0 0.2\n")
+	f.Add("")
+	f.Add("a b c\n")
+	f.Add("1\t2\t3\t4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, _, err := ReadEdgeList(strings.NewReader(input), false)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v (input %q)", err, input)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf, false)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

@@ -1,0 +1,435 @@
+// Package graph provides the compressed-sparse-row (CSR) graph substrate used
+// by every algorithm in the repository: the parallel Infomap core, the Louvain
+// baseline, PageRank, and the benchmark harness.
+//
+// Graphs are weighted and either directed or undirected. Undirected edges are
+// stored in both endpoint adjacency rows, mirroring how HyPC-Map and the
+// reference Infomap treat undirected input. Directed graphs additionally carry
+// a transposed (in-link) CSR so that the FindBestCommunity kernel can
+// accumulate incoming flow without a scan of the whole edge set.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted directed arc used during graph construction.
+type Edge struct {
+	From, To uint32
+	Weight   float64
+}
+
+// Graph is an immutable weighted graph in CSR form. Vertex IDs are dense
+// integers in [0, N). Construct via Builder or the generators in package gen;
+// the zero value is an empty graph.
+type Graph struct {
+	n        int
+	directed bool
+
+	// Out-adjacency CSR.
+	offsets []int64
+	targets []uint32
+	weights []float64
+
+	// In-adjacency CSR. For undirected graphs these alias the out slices.
+	inOffsets []int64
+	inTargets []uint32
+	inWeights []float64
+
+	totalWeight float64 // sum of stored arc weights (each undirected edge counted twice)
+	selfWeight  float64 // total weight on self-loops (counted once per stored arc)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of stored arcs. For an undirected graph this is twice
+// the number of edges (each edge appears in both adjacency rows), matching the
+// usual CSR convention.
+func (g *Graph) M() int { return len(g.targets) }
+
+// NumEdges returns the number of logical edges: M() for directed graphs,
+// and (M() + selfLoopArcs) / 2-style halving for undirected graphs where
+// non-loop arcs are mirrored. Self-loops are stored once in undirected graphs.
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return len(g.targets)
+	}
+	loops := 0
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if int(v) == u {
+				loops++
+			}
+		}
+	}
+	return (len(g.targets)-loops)/2 + loops
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// TotalWeight returns the sum of all stored arc weights.
+func (g *Graph) TotalWeight() float64 { return g.totalWeight }
+
+// SelfLoopWeight returns the total weight on self-loop arcs.
+func (g *Graph) SelfLoopWeight() float64 { return g.selfWeight }
+
+// OutDegree returns the number of out-arcs of u.
+func (g *Graph) OutDegree(u int) int { return int(g.offsets[u+1] - g.offsets[u]) }
+
+// InDegree returns the number of in-arcs of u.
+func (g *Graph) InDegree(u int) int { return int(g.inOffsets[u+1] - g.inOffsets[u]) }
+
+// OutRange returns the half-open index range [lo, hi) of u's out-arcs within
+// the CSR arc arrays. Packages that keep per-arc side data (e.g. flows)
+// parallel to the CSR use it to slice their arrays per vertex.
+func (g *Graph) OutRange(u int) (lo, hi int) {
+	return int(g.offsets[u]), int(g.offsets[u+1])
+}
+
+// InRange is OutRange for the in-arc CSR.
+func (g *Graph) InRange(u int) (lo, hi int) {
+	return int(g.inOffsets[u]), int(g.inOffsets[u+1])
+}
+
+// OutNeighbors returns the out-neighbor IDs of u. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) OutNeighbors(u int) []uint32 {
+	return g.targets[g.offsets[u]:g.offsets[u+1]]
+}
+
+// OutWeights returns weights parallel to OutNeighbors(u).
+func (g *Graph) OutWeights(u int) []float64 {
+	return g.weights[g.offsets[u]:g.offsets[u+1]]
+}
+
+// InNeighbors returns the in-neighbor IDs of u.
+func (g *Graph) InNeighbors(u int) []uint32 {
+	return g.inTargets[g.inOffsets[u]:g.inOffsets[u+1]]
+}
+
+// InWeights returns weights parallel to InNeighbors(u).
+func (g *Graph) InWeights(u int) []float64 {
+	return g.inWeights[g.inOffsets[u]:g.inOffsets[u+1]]
+}
+
+// OutStrength returns the sum of out-arc weights of u.
+func (g *Graph) OutStrength(u int) float64 {
+	s := 0.0
+	for _, w := range g.OutWeights(u) {
+		s += w
+	}
+	return s
+}
+
+// InStrength returns the sum of in-arc weights of u.
+func (g *Graph) InStrength(u int) float64 {
+	s := 0.0
+	for _, w := range g.InWeights(u) {
+		s += w
+	}
+	return s
+}
+
+// MaxOutDegree returns the largest out-degree in the graph, or 0 if empty.
+func (g *Graph) MaxOutDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.OutDegree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns hist where hist[k] is the number of vertices with
+// out-degree k. The slice has length MaxOutDegree()+1 (length 1 for an empty
+// graph). This is the raw data behind the paper's Figure 4.
+func (g *Graph) DegreeHistogram() []int {
+	hist := make([]int, g.MaxOutDegree()+1)
+	for u := 0; u < g.n; u++ {
+		hist[g.OutDegree(u)]++
+	}
+	return hist
+}
+
+// DegreeCDF returns, for each degree threshold d in thresholds, the fraction
+// of vertices whose out-degree is <= d. This is the data behind the paper's
+// Figure 5 (fraction of neighbor lists that fit in a CAM of a given size).
+func (g *Graph) DegreeCDF(thresholds []int) []float64 {
+	out := make([]float64, len(thresholds))
+	if g.n == 0 {
+		return out
+	}
+	for i, d := range thresholds {
+		cnt := 0
+		for u := 0; u < g.n; u++ {
+			if g.OutDegree(u) <= d {
+				cnt++
+			}
+		}
+		out[i] = float64(cnt) / float64(g.n)
+	}
+	return out
+}
+
+// Validate checks structural invariants and returns an error describing the
+// first violation found. It is used by tests and by the edge-list reader.
+func (g *Graph) Validate() error {
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
+	}
+	if g.offsets[0] != 0 || int(g.offsets[g.n]) != len(g.targets) {
+		return fmt.Errorf("graph: offset endpoints [%d,%d] inconsistent with %d arcs",
+			g.offsets[0], g.offsets[g.n], len(g.targets))
+	}
+	if len(g.targets) != len(g.weights) {
+		return fmt.Errorf("graph: %d targets but %d weights", len(g.targets), len(g.weights))
+	}
+	for u := 0; u < g.n; u++ {
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+		row := g.OutNeighbors(u)
+		for i, v := range row {
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: arc %d->%d out of range (n=%d)", u, v, g.n)
+			}
+			if i > 0 && row[i-1] >= v {
+				return fmt.Errorf("graph: row %d not strictly sorted at position %d", u, i)
+			}
+		}
+	}
+	for i, w := range g.weights {
+		if !(w > 0) {
+			return fmt.Errorf("graph: non-positive weight %g at arc %d", w, i)
+		}
+	}
+	if !g.directed {
+		// Symmetry: every non-loop arc must have a mirror with equal weight.
+		for u := 0; u < g.n; u++ {
+			nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+			for i, v := range nb {
+				if int(v) == u {
+					continue
+				}
+				w, ok := g.ArcWeight(int(v), u)
+				// Duplicate arcs merge by summation in unspecified order, so
+				// mirrored weights may differ by a few ulps; compare with a
+				// relative tolerance rather than exactly.
+				if !ok || !nearlyEqual(w, ws[i]) {
+					return fmt.Errorf("graph: undirected edge %d-%d not symmetric", u, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nearlyEqual reports whether a and b agree to within a small relative
+// tolerance (or a tiny absolute tolerance near zero).
+func nearlyEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if b > scale {
+		scale = b
+	} else if -b > scale {
+		scale = -b
+	}
+	return diff <= 1e-12*scale+1e-300
+}
+
+// ArcWeight returns the weight of arc u->v and whether it exists, via binary
+// search of u's sorted adjacency row.
+func (g *Graph) ArcWeight(u, v int) (float64, bool) {
+	row := g.OutNeighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= uint32(v) })
+	if i < len(row) && row[i] == uint32(v) {
+		return g.OutWeights(u)[i], true
+	}
+	return 0, false
+}
+
+// HasArc reports whether arc u->v exists.
+func (g *Graph) HasArc(u, v int) bool {
+	_, ok := g.ArcWeight(u, v)
+	return ok
+}
+
+// Builder accumulates edges and produces a CSR Graph. Duplicate arcs are
+// merged by summing weights, mirroring how HyPC-Map's Convert2SuperNode
+// collapses parallel super-edges.
+type Builder struct {
+	n        int
+	directed bool
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records an edge. For undirected builders the mirror arc is added
+// automatically (self-loops are stored once). Zero- or negative-weight edges
+// are rejected.
+func (b *Builder) AddEdge(u, v uint32, w float64) error {
+	if int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range n=%d", u, v, b.n)
+	}
+	if !(w > 0) {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %g", u, v, w)
+	}
+	b.edges = append(b.edges, Edge{u, v, w})
+	if !b.directed && u != v {
+		b.edges = append(b.edges, Edge{v, u, w})
+	}
+	return nil
+}
+
+// NumPendingEdges returns the number of arcs recorded so far (after
+// undirected mirroring).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build sorts, merges, and freezes the accumulated edges into a Graph.
+// The Builder may be reused after Build.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	// Merge duplicates in place.
+	merged := edges[:0]
+	for _, e := range edges {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.From == e.From && last.To == e.To {
+				last.Weight += e.Weight
+				continue
+			}
+		}
+		merged = append(merged, e)
+	}
+
+	g := &Graph{
+		n:        b.n,
+		directed: b.directed,
+		offsets:  make([]int64, b.n+1),
+		targets:  make([]uint32, len(merged)),
+		weights:  make([]float64, len(merged)),
+	}
+	for i, e := range merged {
+		g.offsets[e.From+1]++
+		g.targets[i] = e.To
+		g.weights[i] = e.Weight
+		g.totalWeight += e.Weight
+		if e.From == e.To {
+			g.selfWeight += e.Weight
+		}
+	}
+	for u := 0; u < b.n; u++ {
+		g.offsets[u+1] += g.offsets[u]
+	}
+
+	if b.directed {
+		g.buildInCSR(merged)
+	} else {
+		g.inOffsets, g.inTargets, g.inWeights = g.offsets, g.targets, g.weights
+	}
+	return g
+}
+
+// buildInCSR constructs the transposed adjacency from the merged arc list.
+func (g *Graph) buildInCSR(arcs []Edge) {
+	g.inOffsets = make([]int64, g.n+1)
+	g.inTargets = make([]uint32, len(arcs))
+	g.inWeights = make([]float64, len(arcs))
+	for _, e := range arcs {
+		g.inOffsets[e.To+1]++
+	}
+	for u := 0; u < g.n; u++ {
+		g.inOffsets[u+1] += g.inOffsets[u]
+	}
+	cursor := make([]int64, g.n)
+	copy(cursor, g.inOffsets[:g.n])
+	// arcs are sorted by (From, To), so each in-row ends up sorted by source.
+	for _, e := range arcs {
+		i := cursor[e.To]
+		g.inTargets[i] = e.From
+		g.inWeights[i] = e.Weight
+		cursor[e.To]++
+	}
+}
+
+// Contract builds the quotient graph induced by a module assignment:
+// membership[u] is the module of vertex u and modules must be dense in
+// [0, numModules). Arcs between the same module pair merge into one
+// super-arc with summed weight; intra-module arcs become self-loops. This is
+// the Convert2SuperNode kernel of HyPC-Map.
+func (g *Graph) Contract(membership []uint32, numModules int) (*Graph, error) {
+	if len(membership) != g.n {
+		return nil, fmt.Errorf("graph: membership length %d, want %d", len(membership), g.n)
+	}
+	for u, m := range membership {
+		if int(m) >= numModules {
+			return nil, fmt.Errorf("graph: vertex %d has module %d >= %d", u, m, numModules)
+		}
+	}
+	b := NewBuilder(numModules, g.directed)
+	for u := 0; u < g.n; u++ {
+		mu := membership[u]
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i, v := range nb {
+			mv := membership[v]
+			if !g.directed {
+				// Each undirected edge is stored twice; keep one copy per
+				// unordered pair so the builder's mirroring restores symmetry.
+				if int(v) < u {
+					continue
+				}
+				if u == int(v) {
+					// Undirected self-loop stored once already.
+					if err := b.AddEdge(mu, mv, ws[i]); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if mu == mv {
+					// Intra-module edge contracts to an (undirected) self-loop.
+					if err := b.AddEdge(mu, mv, ws[i]); err != nil {
+						return nil, err
+					}
+					continue
+				}
+			}
+			if err := b.AddEdge(mu, mv, ws[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Edges returns a copy of all stored arcs in CSR order. Intended for tests
+// and serialization, not hot paths.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.targets))
+	for u := 0; u < g.n; u++ {
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i, v := range nb {
+			out = append(out, Edge{uint32(u), v, ws[i]})
+		}
+	}
+	return out
+}

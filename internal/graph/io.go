@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list:
+//
+//	# comment lines start with '#'
+//	<from> <to> [weight]
+//
+// Vertex IDs may be arbitrary non-negative integers; they are remapped to a
+// dense [0, N) range in first-appearance order. Missing weights default to 1.
+// The returned mapping gives, for each dense ID, the original label.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, []uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	idOf := make(map[uint64]uint32)
+	var labels []uint64
+	dense := func(raw uint64) uint32 {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := uint32(len(labels))
+		idOf[raw] = id
+		labels = append(labels, raw)
+		return id
+	}
+
+	type rawEdge struct {
+		u, v uint32
+		w    float64
+	}
+	var edges []rawEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		a, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		bb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+			if !(w > 0) {
+				return nil, nil, fmt.Errorf("graph: line %d: non-positive weight %g", lineNo, w)
+			}
+		}
+		edges = append(edges, rawEdge{dense(a), dense(bb), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+
+	b := NewBuilder(len(labels), directed)
+	for _, e := range edges {
+		if err := b.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.Build(), labels, nil
+}
+
+// ReadEdgeListFile opens path and parses it with ReadEdgeList.
+func ReadEdgeListFile(path string, directed bool) (*Graph, []uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, directed)
+}
+
+// WriteEdgeList emits the graph in SNAP edge-list format. Undirected edges
+// are written once (u <= v); weights are written only when not 1.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dir := "undirected"
+	if g.directed {
+		dir = "directed"
+	}
+	fmt.Fprintf(bw, "# %s graph: %d vertices, %d arcs\n", dir, g.n, g.M())
+	for u := 0; u < g.n; u++ {
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i, v := range nb {
+			if !g.directed && int(v) < u {
+				continue
+			}
+			if ws[i] == 1 {
+				fmt.Fprintf(bw, "%d\t%d\n", u, v)
+			} else {
+				fmt.Fprintf(bw, "%d\t%d\t%g\n", u, v, ws[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path in SNAP edge-list format.
+func (g *Graph) WriteEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,410 @@
+package infomap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/asamap/asamap/internal/accum"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/pagerank"
+	"github.com/asamap/asamap/internal/perf"
+	"github.com/asamap/asamap/internal/rng"
+	"github.com/asamap/asamap/internal/trace"
+)
+
+// Run detects communities in g by minimizing the map equation, using the
+// multi-level greedy scheme of HyPC-Map:
+//
+//  1. PageRank: compute the stationary random-walk flow (closed form for
+//     undirected graphs, power iteration with teleportation for directed).
+//  2. FindBestCommunity: repeated parallel sweeps over all vertices; each
+//     vertex greedily joins the neighboring module that shrinks L(M) most,
+//     with per-module flows accumulated through the configured backend.
+//  3. Convert2SuperNode: contract each module to a super node carrying the
+//     aggregated flow.
+//  4. UpdateMembers: commit the moves / propagate module IDs to the leaves.
+//
+// Steps 2–4 repeat on the contracted graph until no further compression.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	bd := trace.NewBreakdown()
+
+	// --- Kernel 1: PageRank / flow construction. ---
+	var baseFlow *mapeq.Flow
+	prStart := time.Now()
+	if g.Directed() {
+		cfg := pagerank.DefaultConfig()
+		cfg.Damping = opt.Damping
+		cfg.Workers = opt.Workers
+		pr, err := pagerank.Compute(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Teleport == TeleportUnrecorded {
+			baseFlow, err = mapeq.NewDirectedFlowUnrecorded(g, pr.Rank, opt.Damping)
+		} else {
+			baseFlow, err = mapeq.NewDirectedFlow(g, pr.Rank, opt.Damping)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		baseFlow, err = mapeq.NewUndirectedFlow(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bd.Add(trace.KernelPageRank, time.Since(prStart))
+
+	workers := make([]*worker, opt.Workers)
+	for i := range workers {
+		w, err := newWorker(i, opt)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+	}
+
+	res := &Result{
+		Breakdown:  bd,
+		Membership: make([]uint32, g.N()),
+	}
+	for i := range res.Membership {
+		res.Membership[i] = uint32(i)
+	}
+	if g.N() == 0 {
+		res.Elapsed = time.Since(start)
+		res.PerWorker = collectWorkerStats(workers)
+		return res, nil
+	}
+
+	// Leaf-level node term is carried through all super-node levels so that
+	// codelengths remain those of the original vertices.
+	leafState, err := mapeq.NewState(baseFlow, make([]uint32, g.N()), 1)
+	if err != nil {
+		return nil, err
+	}
+	leafNodeTerm := leafState.NodeTerm()
+	res.OneLevelCodelength = mapeq.OneLevelCodelength(baseFlow)
+
+	r := rng.New(opt.Seed)
+
+	// Outer tune loop (the reference Infomap's core loop): fine-tune leaf
+	// vertices from the current partition, rebuild the super-node hierarchy
+	// from the refined partition, and repeat while the codelength improves.
+	bestL := res.OneLevelCodelength
+	for outer := 0; outer < opt.OuterIters; outer++ {
+		flow := baseFlow
+		for level := 0; level < opt.MaxLevels; level++ {
+			n := flow.G.N()
+			var membership []uint32
+			if level == 0 {
+				// Leaf level: start from the current global partition
+				// (singletons on the first outer iteration) so earlier merges
+				// can be undone vertex by vertex.
+				membership = make([]uint32, n)
+				copy(membership, res.Membership)
+				mapeq.CompactMembership(membership)
+			} else {
+				membership = make([]uint32, n)
+				for i := range membership {
+					membership[i] = uint32(i)
+				}
+			}
+			st, err := mapeq.NewState(flow, membership, n)
+			if err != nil {
+				return nil, err
+			}
+			st.OverrideNodeTerm(leafNodeTerm)
+			res.Levels++
+
+			sweeps, moves := optimizeLevel(st, flow, workers, opt, r, bd, level, res)
+			res.Sweeps += sweeps
+			res.Moves += moves
+
+			// --- Kernel 3/4: contract modules to super nodes. ---
+			csStart := time.Now()
+			k := mapeq.CompactMembership(membership)
+			if level == 0 {
+				copy(res.Membership, membership)
+			} else {
+				for v := range res.Membership {
+					res.Membership[v] = membership[res.Membership[v]]
+				}
+			}
+			if (level > 0 && k == n) || k == 1 {
+				// No merging at a super level, or everything merged:
+				// the hierarchy has converged.
+				bd.Add(trace.KernelConvert2SuperNode, time.Since(csStart))
+				break
+			}
+			flow, err = flow.Contract(membership, k)
+			if err != nil {
+				return nil, err
+			}
+			bd.Add(trace.KernelConvert2SuperNode, time.Since(csStart))
+		}
+
+		// Evaluate the outer iteration's result from scratch on the base
+		// flow; stop when it no longer improves.
+		mem := make([]uint32, len(res.Membership))
+		copy(mem, res.Membership)
+		k := mapeq.CompactMembership(mem)
+		stCheck, err := mapeq.NewState(baseFlow, mem, k)
+		if err != nil {
+			return nil, err
+		}
+		l := stCheck.Codelength()
+		if bestL-l < opt.MinImprovement {
+			break
+		}
+		bestL = l
+	}
+
+	// Recompute the final codelength from scratch on the base flow — the
+	// honest number, free of any incremental drift.
+	mem := make([]uint32, len(res.Membership))
+	copy(mem, res.Membership)
+	k := mapeq.CompactMembership(mem)
+	copy(res.Membership, mem)
+	finalState, err := mapeq.NewState(baseFlow, mem, k)
+	if err != nil {
+		return nil, err
+	}
+	res.Codelength = finalState.Codelength()
+	res.NumModules = k
+
+	// A fragmented two-level code can price worse than the trivial
+	// one-module code on graphs with little community structure; like the
+	// reference Infomap, fall back to the one-level solution then.
+	if res.Codelength > res.OneLevelCodelength {
+		for i := range res.Membership {
+			res.Membership[i] = 0
+		}
+		res.Codelength = res.OneLevelCodelength
+		res.NumModules = 1
+	}
+
+	for _, w := range workers {
+		w.snapshotStats()
+	}
+	res.PerWorker = collectWorkerStats(workers)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func collectWorkerStats(workers []*worker) []WorkerStats {
+	out := make([]WorkerStats, len(workers))
+	for i, w := range workers {
+		out[i] = w.stats
+	}
+	return out
+}
+
+// optimizeLevel runs FindBestCommunity sweeps on one level until the
+// codelength stops improving. Each sweep evaluates all vertices in parallel
+// against a frozen state snapshot (read-only), then commits the improving
+// moves serially with a ΔL re-check — the relaxed two-phase concurrency that
+// shared-memory parallel Infomap implementations use.
+func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
+	opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64) {
+
+	n := flow.G.N()
+	// Active-vertex optimization (as in RelaxMap/HyPC-Map): only vertices
+	// whose neighborhood changed in the previous sweep are re-evaluated, so
+	// per-iteration work shrinks as the partition converges — the decreasing
+	// per-iteration times of the paper's Tables III/IV.
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	order := make([]uint32, 0, n)
+
+	prevL := st.Codelength()
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		order = order[:0]
+		for v := 0; v < n; v++ {
+			if active[v] {
+				order = append(order, uint32(v))
+			}
+		}
+		if len(order) == 0 {
+			break
+		}
+		r.ShuffleUint32(order)
+		preStats, preWork := liveTotals(workers)
+
+		// --- Kernel 2: FindBestCommunity (parallel, read-only). ---
+		fbcStart := time.Now()
+		for _, w := range workers {
+			w.proposals = w.proposals[:0]
+		}
+		m := len(order)
+		if len(workers) == 1 {
+			workers[0].evaluateRange(st, flow, order, 0, m)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (m + len(workers) - 1) / len(workers)
+			for i, w := range workers {
+				lo := i * chunk
+				hi := lo + chunk
+				if hi > m {
+					hi = m
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(w *worker, lo, hi int) {
+					defer wg.Done()
+					w.evaluateRange(st, flow, order, lo, hi)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+		fbcWall := time.Since(fbcStart)
+		bd.Add(trace.KernelFindBestCommunity, fbcWall)
+
+		// --- Kernel 4: UpdateMembers (serial commit with re-check). ---
+		umStart := time.Now()
+		for i := range active {
+			active[i] = false
+		}
+		moves := uint64(0)
+		for _, w := range workers {
+			for _, p := range w.proposals {
+				v := int(p.node)
+				old := st.Module(v)
+				if old == p.target {
+					continue
+				}
+				// Earlier commits in this sweep may have moved this vertex's
+				// neighbors, so the flows captured during parallel evaluation
+				// can be stale. Recompute them against the *current*
+				// membership (a plain adjacency walk — synchronization
+				// bookkeeping, not part of the modeled hash workload) and
+				// re-evaluate ΔL; committing only exact improvements makes
+				// the codelength strictly decreasing and immune to the
+				// oscillations synchronous parallel updates are prone to.
+				oo, io, on, in := commitFlows(flow, st, v, old, p.target)
+				view := flow.View(v)
+				if d := st.DeltaMove(view, p.target, oo, io, on, in); d < 0 {
+					st.Apply(view, p.target, oo, io, on, in)
+					w.stats.Work.MovesApplied++
+					moves++
+					// The moved vertex and its neighborhood become active.
+					active[v] = true
+					for _, t := range flow.G.OutNeighbors(v) {
+						active[t] = true
+					}
+					for _, t := range flow.G.InNeighbors(v) {
+						active[t] = true
+					}
+				}
+			}
+		}
+		// Wash accumulated floating-point drift out of the incremental
+		// aggregates once per sweep.
+		st.Refresh()
+		commitWall := time.Since(umStart)
+		bd.Add(trace.KernelUpdateMembers, commitWall)
+
+		postStats, postWork := liveTotals(workers)
+		res.SweepLog = append(res.SweepLog, SweepStat{
+			Level:      level,
+			Sweep:      sweep,
+			Wall:       fbcWall,
+			WallCommit: commitWall,
+			Stats:      postStats.Sub(preStats),
+			Work:       postWork.Sub(preWork),
+			Codelength: st.Codelength(),
+			Moves:      moves,
+		})
+
+		sweeps++
+		totalMoves += moves
+		l := st.Codelength()
+		if moves == 0 || prevL-l < opt.MinImprovement {
+			break
+		}
+		prevL = l
+	}
+	return sweeps, totalMoves
+}
+
+// liveTotals sums the cumulative accumulator stats and kernel work over all
+// workers at this instant (used to delta out per-sweep event counts).
+func liveTotals(workers []*worker) (accum.Stats, perf.KernelWork) {
+	var st accum.Stats
+	var wk perf.KernelWork
+	for _, w := range workers {
+		st.Add(w.out.Stats())
+		st.Add(w.in.Stats())
+		wk.Add(w.stats.Work)
+	}
+	return st, wk
+}
+
+// commitFlows recomputes vertex v's accumulated arc flow to/from its current
+// module and the proposed target module against the present membership.
+func commitFlows(f *mapeq.Flow, st *mapeq.State, v int, old, target uint32) (outOld, inOld, outNew, inNew float64) {
+	g := f.G
+	lo, _ := g.OutRange(v)
+	nb := g.OutNeighbors(v)
+	for i := range nb {
+		t := int(nb[i])
+		if t == v {
+			continue
+		}
+		switch st.Module(t) {
+		case old:
+			outOld += f.OutFlow[lo+i]
+		case target:
+			outNew += f.OutFlow[lo+i]
+		}
+	}
+	ilo, _ := g.InRange(v)
+	in := g.InNeighbors(v)
+	for i := range in {
+		s := int(in[i])
+		if s == v {
+			continue
+		}
+		switch st.Module(s) {
+		case old:
+			inOld += f.InFlow[ilo+i]
+		case target:
+			inNew += f.InFlow[ilo+i]
+		}
+	}
+	return
+}
+
+// Modules groups vertex IDs by final module, returning a slice of modules
+// each holding its member vertices, ordered by module ID.
+func Modules(membership []uint32) [][]int {
+	k := 0
+	for _, m := range membership {
+		if int(m)+1 > k {
+			k = int(m) + 1
+		}
+	}
+	out := make([][]int, k)
+	for v, m := range membership {
+		out[m] = append(out[m], v)
+	}
+	return out
+}
+
+// String summarizes a result for logs and examples.
+func (r *Result) String() string {
+	return fmt.Sprintf("modules=%d L=%.4f bits (one-level %.4f, %.1f%% compression) levels=%d sweeps=%d moves=%d",
+		r.NumModules, r.Codelength, r.OneLevelCodelength,
+		100*(1-r.Codelength/r.OneLevelCodelength), r.Levels, r.Sweeps, r.Moves)
+}

@@ -1,0 +1,224 @@
+package infomap
+
+import (
+	"sort"
+
+	"github.com/asamap/asamap/internal/accum"
+	"github.com/asamap/asamap/internal/mapeq"
+)
+
+// proposal is one vertex's best move found during a parallel evaluation
+// sweep. The commit phase recomputes the move's flows against the current
+// membership before applying, so only the target survives evaluation.
+type proposal struct {
+	node   uint32
+	target uint32
+	delta  float64
+}
+
+// worker owns the core-local accumulators — one table for outgoing flow and
+// one for incoming flow, exactly the pair declared in lines 1–2 of the
+// paper's Algorithm 1 — plus scratch buffers and event counters.
+type worker struct {
+	id           int
+	out, in      accum.Accumulator
+	outBuf       []accum.KV
+	inBuf        []accum.KV
+	proposals    []proposal
+	stats        WorkerStats
+	mergedGather bool // ASA-style candidate iteration (Algorithm 2)
+}
+
+func newWorker(id int, o Options) (*worker, error) {
+	out, err := o.newAccumulator()
+	if err != nil {
+		return nil, err
+	}
+	in, err := o.newAccumulator()
+	if err != nil {
+		return nil, err
+	}
+	return &worker{
+		id:           id,
+		out:          out,
+		in:           in,
+		mergedGather: o.Kind == ASA,
+	}, nil
+}
+
+// snapshotStats folds the accumulators' cumulative stats into the worker's
+// WorkerStats. Called once at the end of a run.
+func (w *worker) snapshotStats() {
+	w.stats.Accum = accum.Stats{}
+	w.stats.Accum.Add(w.out.Stats())
+	w.stats.Accum.Add(w.in.Stats())
+}
+
+// evaluateRange runs FindBestCommunity for the vertices order[lo:hi] against
+// a frozen State snapshot, appending improving moves to w.proposals.
+func (w *worker) evaluateRange(st *mapeq.State, f *mapeq.Flow, order []uint32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		w.findBestCommunity(st, f, int(order[i]))
+	}
+}
+
+// findBestCommunity is Algorithm 1 (Baseline) / Algorithm 2 (ASA) of the
+// paper: accumulate per-module outgoing and incoming flow over the vertex's
+// adjacency, then pick the module whose ΔL is most negative.
+func (w *worker) findBestCommunity(st *mapeq.State, f *mapeq.Flow, v int) {
+	g := f.G
+	w.stats.Work.VerticesProcessed++
+	old := st.Module(v)
+
+	w.out.Reset()
+	w.in.Reset()
+
+	// Accumulate outgoing flow per neighbor module (Alg. 1 lines 4–13).
+	lo, _ := g.OutRange(v)
+	nb := g.OutNeighbors(v)
+	links := 0
+	for i := range nb {
+		t := int(nb[i])
+		if t == v {
+			continue
+		}
+		w.stats.Work.ArcsProcessed++
+		w.out.Accumulate(st.Module(t), f.OutFlow[lo+i])
+		links++
+	}
+	// Accumulate incoming flow (Alg. 1 line 14).
+	ilo, _ := g.InRange(v)
+	in := g.InNeighbors(v)
+	for i := range in {
+		s := int(in[i])
+		if s == v {
+			continue
+		}
+		w.stats.Work.ArcsProcessed++
+		w.in.Accumulate(st.Module(s), f.InFlow[ilo+i])
+		links++
+	}
+	if links == 0 {
+		// Isolated vertex (or only self-loops): no neighbor module to join.
+		return
+	}
+
+	view := f.View(v)
+	if w.mergedGather {
+		w.candidatesMerged(st, view, old)
+	} else {
+		w.candidatesLookup(st, view, old)
+	}
+}
+
+// candidatesLookup is the Baseline candidate scan (Alg. 1 lines 15–25):
+// iterate the out-flow hash table and point-look-up the in-flow table.
+func (w *worker) candidatesLookup(st *mapeq.State, view mapeq.NodeView, old uint32) {
+	w.outBuf = w.out.Gather(w.outBuf[:0])
+	outOld, _ := w.out.Lookup(old)
+	inOld, _ := w.in.Lookup(old)
+
+	best := proposal{node: uint32(view.Node), target: old}
+	for _, kv := range w.outBuf {
+		if kv.Key == old {
+			continue
+		}
+		inFlow, _ := w.in.Lookup(kv.Key)
+		w.stats.Work.CandidatesEvaluated++
+		d := st.DeltaMove(view, kv.Key, outOld, inOld, kv.Value, inFlow)
+		if d < best.delta {
+			best = proposal{node: uint32(view.Node), target: kv.Key, delta: d}
+		}
+	}
+	// Directed graphs can have candidate modules reachable only via
+	// in-links; Algorithm 1's line 14 surfaces them the same way.
+	w.inBuf = w.in.Gather(w.inBuf[:0])
+	for _, kv := range w.inBuf {
+		if kv.Key == old {
+			continue
+		}
+		if _, seen := w.out.Lookup(kv.Key); seen {
+			continue // already evaluated above
+		}
+		w.stats.Work.CandidatesEvaluated++
+		d := st.DeltaMove(view, kv.Key, outOld, inOld, 0, kv.Value)
+		if d < best.delta {
+			best = proposal{node: uint32(view.Node), target: kv.Key, delta: d}
+		}
+	}
+	if best.target != old && best.delta < 0 {
+		w.proposals = append(w.proposals, best)
+	}
+}
+
+// candidatesMerged is the ASA candidate scan (Alg. 2 lines 9–14): gather both
+// CAMs (with sort_and_merge on overflow), sort the pair vectors, and walk
+// them with a two-pointer merge.
+func (w *worker) candidatesMerged(st *mapeq.State, view mapeq.NodeView, old uint32) {
+	w.outBuf = w.out.Gather(w.outBuf[:0])
+	w.inBuf = w.in.Gather(w.inBuf[:0])
+	sortKV(w.outBuf)
+	sortKV(w.inBuf)
+
+	var outOld, inOld float64
+	if i := findKV(w.outBuf, old); i >= 0 {
+		outOld = w.outBuf[i].Value
+	}
+	if i := findKV(w.inBuf, old); i >= 0 {
+		inOld = w.inBuf[i].Value
+	}
+
+	best := proposal{node: uint32(view.Node), target: old}
+	i, j := 0, 0
+	for i < len(w.outBuf) || j < len(w.inBuf) {
+		var m uint32
+		var of, nf float64
+		switch {
+		case j >= len(w.inBuf) || (i < len(w.outBuf) && w.outBuf[i].Key < w.inBuf[j].Key):
+			m, of = w.outBuf[i].Key, w.outBuf[i].Value
+			i++
+		case i >= len(w.outBuf) || w.inBuf[j].Key < w.outBuf[i].Key:
+			m, nf = w.inBuf[j].Key, w.inBuf[j].Value
+			j++
+		default:
+			m, of, nf = w.outBuf[i].Key, w.outBuf[i].Value, w.inBuf[j].Value
+			i++
+			j++
+		}
+		if m == old {
+			continue
+		}
+		w.stats.Work.CandidatesEvaluated++
+		d := st.DeltaMove(view, m, outOld, inOld, of, nf)
+		if d < best.delta {
+			best = proposal{node: uint32(view.Node), target: m, delta: d}
+		}
+	}
+	if best.target != old && best.delta < 0 {
+		w.proposals = append(w.proposals, best)
+	}
+}
+
+// sortKV sorts small pair vectors by key with an allocation-free insertion
+// sort: candidate lists are degree-bounded and usually tiny, and sort.Slice's
+// per-call closure allocation would dominate the ASA path's profile.
+func sortKV(kvs []accum.KV) {
+	for i := 1; i < len(kvs); i++ {
+		kv := kvs[i]
+		j := i - 1
+		for j >= 0 && kvs[j].Key > kv.Key {
+			kvs[j+1] = kvs[j]
+			j--
+		}
+		kvs[j+1] = kv
+	}
+}
+
+// findKV binary-searches sorted kvs for key, returning its index or -1.
+func findKV(kvs []accum.KV, key uint32) int {
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	if i < len(kvs) && kvs[i].Key == key {
+		return i
+	}
+	return -1
+}

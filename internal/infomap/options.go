@@ -1,0 +1,223 @@
+// Package infomap implements the paper's core system: a shared-memory
+// parallel Infomap community-detection algorithm with the kernel structure of
+// HyPC-Map (PageRank, FindBestCommunity, Convert2SuperNode, UpdateMembers)
+// and a pluggable sparse accumulator so the identical FindBestCommunity
+// kernel runs over either the software hash table Baseline or the ASA
+// accelerator model — the comparison that constitutes the paper's evaluation.
+package infomap
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/asamap/asamap/internal/accum"
+	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/hashtab"
+	"github.com/asamap/asamap/internal/perf"
+	"github.com/asamap/asamap/internal/trace"
+)
+
+// Teleportation selects how directed-graph teleportation enters the code.
+type Teleportation int
+
+const (
+	// TeleportRecorded encodes teleportation steps (the original 2008 map
+	// equation and the model HyPC-Map/RelaxMap implement).
+	TeleportRecorded Teleportation = iota
+	// TeleportUnrecorded uses teleportation only to make the walk ergodic;
+	// the code prices arc flows alone (modern Infomap's default).
+	TeleportUnrecorded
+)
+
+// String names the teleportation model.
+func (t Teleportation) String() string {
+	if t == TeleportUnrecorded {
+		return "unrecorded"
+	}
+	return "recorded"
+}
+
+// AccumKind selects the sparse-accumulation backend of the
+// FindBestCommunity kernel.
+type AccumKind int
+
+const (
+	// Baseline is the explicit chained software hash table modeled on
+	// std::unordered_map — the paper's Baseline.
+	Baseline AccumKind = iota
+	// ASA is the content-addressable-memory accelerator model with LRU
+	// eviction and overflow merge — the paper's contribution.
+	ASA
+	// GoMap is Go's builtin map, used as a correctness oracle and an
+	// "idiomatic Go" reference point.
+	GoMap
+)
+
+// String names the backend as used in reports.
+func (k AccumKind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case ASA:
+		return "asa"
+	case GoMap:
+		return "gomap"
+	}
+	return fmt.Sprintf("AccumKind(%d)", int(k))
+}
+
+// Options configures a run. The zero value is not valid; start from
+// DefaultOptions.
+type Options struct {
+	// Kind selects the accumulator backend.
+	Kind AccumKind
+	// ASAConfig configures the per-worker CAM when Kind == ASA.
+	ASAConfig asa.Config
+	// Workers is the number of parallel workers ("cores"); each gets its own
+	// pair of core-local accumulators, mirroring the tid parameter of the
+	// paper's ASA interface.
+	Workers int
+	// MaxSweeps bounds the vertex-level optimization sweeps per level.
+	MaxSweeps int
+	// MinImprovement is the codelength gain (bits) below which a level's
+	// sweep loop stops.
+	MinImprovement float64
+	// MaxLevels bounds the super-node contraction hierarchy depth.
+	MaxLevels int
+	// OuterIters bounds the outer tune loop: each iteration fine-tunes leaf
+	// vertices from the current partition, then rebuilds the super-node
+	// hierarchy — the core-loop structure of the reference Infomap that
+	// keeps the greedy from freezing early local merges into the result.
+	OuterIters int
+	// Seed makes vertex visitation order (and hence the run) deterministic.
+	Seed uint64
+	// Damping is the random-walk continuation probability for directed
+	// graphs (teleportation is 1-Damping).
+	Damping float64
+	// Teleport selects recorded (paper/HyPC-Map) or unrecorded (modern
+	// Infomap default) teleportation for directed graphs.
+	Teleport Teleportation
+}
+
+// DefaultOptions returns the standard configuration: Baseline accumulator,
+// one worker, 8KB LRU CAM for ASA runs, damping 0.85.
+func DefaultOptions() Options {
+	return Options{
+		Kind:           Baseline,
+		ASAConfig:      asa.DefaultConfig(),
+		Workers:        1,
+		MaxSweeps:      20,
+		MinImprovement: 1e-9,
+		MaxLevels:      30,
+		OuterIters:     4,
+		Seed:           1,
+		Damping:        0.85,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Workers < 1 {
+		return fmt.Errorf("infomap: Workers %d < 1", o.Workers)
+	}
+	if o.MaxSweeps < 1 {
+		return fmt.Errorf("infomap: MaxSweeps %d < 1", o.MaxSweeps)
+	}
+	if o.MaxLevels < 1 {
+		return fmt.Errorf("infomap: MaxLevels %d < 1", o.MaxLevels)
+	}
+	if o.OuterIters < 1 {
+		return fmt.Errorf("infomap: OuterIters %d < 1", o.OuterIters)
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return fmt.Errorf("infomap: Damping %g out of (0,1)", o.Damping)
+	}
+	if o.MinImprovement < 0 {
+		return fmt.Errorf("infomap: MinImprovement %g < 0", o.MinImprovement)
+	}
+	switch o.Kind {
+	case Baseline, ASA, GoMap:
+	default:
+		return fmt.Errorf("infomap: unknown accumulator kind %d", int(o.Kind))
+	}
+	return nil
+}
+
+// newAccumulator constructs one accumulator instance for the configured kind.
+func (o Options) newAccumulator() (accum.Accumulator, error) {
+	switch o.Kind {
+	case Baseline:
+		return hashtab.New(64), nil
+	case ASA:
+		return asa.New(o.ASAConfig)
+	case GoMap:
+		return accum.NewMap(64), nil
+	}
+	return nil, fmt.Errorf("infomap: unknown accumulator kind %d", int(o.Kind))
+}
+
+// WorkerStats carries the per-worker ("per core") event counts that the
+// paper's Figures 9–11 plot.
+type WorkerStats struct {
+	Accum accum.Stats     // accumulator events (both tables of the worker)
+	Work  perf.KernelWork // non-accumulator kernel work
+}
+
+// SweepStat records one FindBestCommunity sweep: its wall time and the
+// accumulator/kernel events it performed. The per-iteration rows of the
+// paper's Tables III/IV and the multi-core breakdowns of Figure 7 are built
+// from these.
+type SweepStat struct {
+	Level      int           // hierarchy level (0 = vertex level)
+	Sweep      int           // sweep index within the level
+	Wall       time.Duration // parallel FindBestCommunity evaluation time
+	WallCommit time.Duration // serial UpdateMembers commit time
+	Stats      accum.Stats   // accumulator events during this sweep
+	Work       perf.KernelWork
+	Codelength float64 // L(M) after the sweep
+	Moves      uint64  // moves committed in the sweep
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Membership assigns each original vertex its final module (dense IDs).
+	Membership []uint32
+	// NumModules is the number of detected communities.
+	NumModules int
+	// Codelength is the final two-level map equation value L(M) in bits,
+	// recomputed from scratch on the base flow for the final partition.
+	Codelength float64
+	// OneLevelCodelength is the no-structure reference entropy in bits.
+	OneLevelCodelength float64
+	// Levels is the number of hierarchy levels processed (>=1).
+	Levels int
+	// Sweeps is the total number of optimization sweeps across levels.
+	Sweeps int
+	// Moves is the total number of applied module changes.
+	Moves uint64
+	// Breakdown holds wall-clock time per kernel.
+	Breakdown *trace.Breakdown
+	// PerWorker holds event counts per worker, index = worker id.
+	PerWorker []WorkerStats
+	// SweepLog records every optimization sweep in execution order.
+	SweepLog []SweepStat
+	// Elapsed is the total wall time of the run.
+	Elapsed time.Duration
+}
+
+// TotalStats sums the accumulator events over all workers.
+func (r *Result) TotalStats() accum.Stats {
+	var s accum.Stats
+	for _, w := range r.PerWorker {
+		s.Add(w.Accum)
+	}
+	return s
+}
+
+// TotalWork sums the kernel work over all workers.
+func (r *Result) TotalWork() perf.KernelWork {
+	var w perf.KernelWork
+	for _, ws := range r.PerWorker {
+		w.Add(ws.Work)
+	}
+	return w
+}

@@ -1,0 +1,115 @@
+package infomap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// randomGraph builds a random undirected graph from fuzz inputs.
+func randomGraph(seed uint64, n, edges int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < edges; i++ {
+		u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+		_ = b.AddEdge(u, v, 0.5+r.Float64())
+	}
+	return b.Build()
+}
+
+// TestQuickRunInvariants: for arbitrary random graphs, a run must terminate
+// with (a) a dense valid membership, (b) a codelength no worse than the
+// one-level code, and (c) a codelength that equals the from-scratch
+// evaluation of the returned membership.
+func TestQuickRunInvariants(t *testing.T) {
+	f := func(seed uint16, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		m := int(mRaw)%120 + 1
+		g := randomGraph(uint64(seed), n, m)
+		opt := DefaultOptions()
+		opt.Kind = ASA
+		opt.ASAConfig = asa.Config{CapacityBytes: 64, EntryBytes: 16, Policy: asa.LRU}
+		res, err := Run(g, opt)
+		if err != nil {
+			return false
+		}
+		// (a) dense membership
+		seen := map[uint32]bool{}
+		for _, mod := range res.Membership {
+			if int(mod) >= res.NumModules {
+				return false
+			}
+			seen[mod] = true
+		}
+		if len(seen) != res.NumModules {
+			return false
+		}
+		// (b) never worse than one level
+		if res.Codelength > res.OneLevelCodelength+1e-9 {
+			return false
+		}
+		// (c) reported L matches a fresh evaluation
+		flow, err := mapeq.NewUndirectedFlow(g)
+		if err != nil {
+			return false
+		}
+		mem := append([]uint32(nil), res.Membership...)
+		k := mapeq.CompactMembership(mem)
+		st, err := mapeq.NewState(flow, mem, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(st.Codelength()-res.Codelength) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackendsEquivalentQuality: on arbitrary random graphs the three
+// backends must produce partitions within a whisker of each other.
+func TestQuickBackendsEquivalentQuality(t *testing.T) {
+	f := func(seed uint16) bool {
+		g := randomGraph(uint64(seed), 25, 60)
+		var ls []float64
+		for _, kind := range []AccumKind{Baseline, ASA, GoMap} {
+			opt := DefaultOptions()
+			opt.Kind = kind
+			res, err := Run(g, opt)
+			if err != nil {
+				return false
+			}
+			ls = append(ls, res.Codelength)
+		}
+		return math.Abs(ls[0]-ls[1]) < 0.05 && math.Abs(ls[0]-ls[2]) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMoreWorkersSameInvariants: worker count must never break the
+// structural invariants (it may change the exact partition).
+func TestQuickMoreWorkersSameInvariants(t *testing.T) {
+	f := func(seed uint16, wRaw uint8) bool {
+		g := randomGraph(uint64(seed), 30, 80)
+		opt := DefaultOptions()
+		opt.Workers = int(wRaw)%7 + 1
+		res, err := Run(g, opt)
+		if err != nil {
+			return false
+		}
+		if len(res.PerWorker) != opt.Workers {
+			return false
+		}
+		return res.Codelength <= res.OneLevelCodelength+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,5 @@
+package infomap
+
+import "github.com/asamap/asamap/internal/rng"
+
+func newRand(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,244 @@
+// Package louvain implements the Louvain method of Blondel et al. — the
+// canonical modularity-maximizing community-detection algorithm. The paper
+// positions Infomap against modularity-based methods (better LFR quality, no
+// resolution limit), so this baseline exists for the quality-comparison
+// experiments (X1 in DESIGN.md) and the resolution-limit demonstration.
+//
+// The implementation is the standard two-phase scheme: local moving of
+// vertices to the neighboring community with the largest modularity gain,
+// then contraction of communities to super vertices, repeated until the
+// modularity stops improving. Undirected graphs only.
+package louvain
+
+import (
+	"fmt"
+
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// Options configures a run.
+type Options struct {
+	MaxSweeps      int     // local-moving sweeps per level
+	MaxLevels      int     // contraction depth bound
+	MinImprovement float64 // modularity gain threshold to continue
+	Seed           uint64  // vertex visitation order seed
+	Resolution     float64 // resolution parameter gamma (1 = classic)
+}
+
+// DefaultOptions returns the classic parameterization.
+func DefaultOptions() Options {
+	return Options{MaxSweeps: 20, MaxLevels: 30, MinImprovement: 1e-9, Seed: 1, Resolution: 1}
+}
+
+func (o Options) validate() error {
+	if o.MaxSweeps < 1 || o.MaxLevels < 1 {
+		return fmt.Errorf("louvain: MaxSweeps/MaxLevels must be >= 1")
+	}
+	if o.MinImprovement < 0 {
+		return fmt.Errorf("louvain: MinImprovement %g < 0", o.MinImprovement)
+	}
+	if o.Resolution <= 0 {
+		return fmt.Errorf("louvain: Resolution %g must be positive", o.Resolution)
+	}
+	return nil
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Membership []uint32 // final community per original vertex (dense IDs)
+	NumModules int
+	Modularity float64
+	Levels     int
+	Sweeps     int
+}
+
+// Run detects communities by modularity maximization.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if g.Directed() {
+		return nil, fmt.Errorf("louvain: directed graphs not supported")
+	}
+	res := &Result{Membership: make([]uint32, g.N())}
+	for i := range res.Membership {
+		res.Membership[i] = uint32(i)
+	}
+	if g.N() == 0 {
+		return res, nil
+	}
+
+	r := rng.New(opt.Seed)
+	cur := g
+	for level := 0; level < opt.MaxLevels; level++ {
+		membership, sweeps, improved := localMoving(cur, opt, r)
+		res.Levels++
+		res.Sweeps += sweeps
+		k := compact(membership)
+		if !improved || k == cur.N() {
+			break
+		}
+		for v := range res.Membership {
+			res.Membership[v] = membership[res.Membership[v]]
+		}
+		if k == 1 {
+			break
+		}
+		next, err := cur.Contract(membership, k)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+
+	mem := make([]uint32, len(res.Membership))
+	copy(mem, res.Membership)
+	res.NumModules = compact(mem)
+	copy(res.Membership, mem)
+	res.Modularity = Modularity(g, res.Membership, opt.Resolution)
+	return res, nil
+}
+
+// localMoving runs move sweeps on one level, returning the membership, the
+// number of sweeps, and whether any move was made.
+func localMoving(g *graph.Graph, opt Options, r *rng.RNG) ([]uint32, int, bool) {
+	n := g.N()
+	membership := make([]uint32, n)
+	commTotal := make([]float64, n)    // Σ strengths per community
+	commInternal := make([]float64, n) // Σ internal weight ×2 per community (unused for gain but kept for tests)
+	strength := make([]float64, n)
+	selfW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		membership[v] = uint32(v)
+		strength[v] = g.OutStrength(v)
+		if w, ok := g.ArcWeight(v, v); ok {
+			selfW[v] = w
+		}
+		commTotal[v] = strength[v]
+		commInternal[v] = selfW[v]
+	}
+	twoM := g.TotalWeight() + g.SelfLoopWeight() // undirected: each edge twice, self-loops once; 2m counts self twice
+	if twoM == 0 {
+		return membership, 0, false
+	}
+
+	order := r.Perm(n)
+	neighW := make(map[uint32]float64, 16)
+	var keys []uint32 // deterministic iteration order over neighW
+	anyMove := false
+	sweeps := 0
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		moves := 0
+		sweeps++
+		for _, v := range order {
+			old := membership[v]
+			// Accumulate edge weight to each neighboring community, keeping
+			// first-touch order so tie-breaking is deterministic (Go map
+			// iteration order is randomized).
+			clear(neighW)
+			keys = keys[:0]
+			nb, ws := g.OutNeighbors(v), g.OutWeights(v)
+			for i, t := range nb {
+				if int(t) == v {
+					continue
+				}
+				c := membership[t]
+				if w, seen := neighW[c]; seen {
+					neighW[c] = w + ws[i]
+				} else {
+					neighW[c] = ws[i]
+					keys = append(keys, c)
+				}
+			}
+			// Remove v from its community.
+			commTotal[old] -= strength[v]
+			commInternal[old] -= 2*neighW[old] + selfW[v]
+
+			// Gain of joining community c (constant terms dropped):
+			//   ΔQ ∝ w(v,c) − γ·s_v·Σtot(c)/(2m)
+			best := old
+			bestGain := neighW[old] - opt.Resolution*strength[v]*commTotal[old]/twoM
+			for _, c := range keys {
+				if c == old {
+					continue
+				}
+				gain := neighW[c] - opt.Resolution*strength[v]*commTotal[c]/twoM
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = c
+				}
+			}
+			// Re-insert.
+			membership[v] = best
+			commTotal[best] += strength[v]
+			commInternal[best] += 2*neighW[best] + selfW[v]
+			if best != old {
+				moves++
+				anyMove = true
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return membership, sweeps, anyMove
+}
+
+func compact(membership []uint32) int {
+	remap := make(map[uint32]uint32)
+	for i, m := range membership {
+		id, ok := remap[m]
+		if !ok {
+			id = uint32(len(remap))
+			remap[m] = id
+		}
+		membership[i] = id
+	}
+	return len(remap)
+}
+
+// Modularity returns Newman's modularity Q of the partition at resolution
+// gamma: Q = Σ_c [ w_in(c)/m − γ·(Σtot(c)/(2m))² ] for undirected graphs,
+// where w_in counts each internal edge once (self-loops once) and m is the
+// total edge weight.
+func Modularity(g *graph.Graph, membership []uint32, gamma float64) float64 {
+	if g.N() == 0 || len(membership) != g.N() {
+		return 0
+	}
+	twoM := g.TotalWeight() + g.SelfLoopWeight()
+	if twoM == 0 {
+		return 0
+	}
+	k := 0
+	for _, m := range membership {
+		if int(m)+1 > k {
+			k = int(m) + 1
+		}
+	}
+	internal := make([]float64, k) // 2×internal weight
+	total := make([]float64, k)
+	for v := 0; v < g.N(); v++ {
+		c := membership[v]
+		s := g.OutStrength(v)
+		if w, ok := g.ArcWeight(v, v); ok {
+			s += w // self-loop counts twice toward degree
+		}
+		total[c] += s
+		nb, ws := g.OutNeighbors(v), g.OutWeights(v)
+		for i, t := range nb {
+			if membership[t] == c {
+				if int(t) == v {
+					internal[c] += 2 * ws[i]
+				} else {
+					internal[c] += ws[i]
+				}
+			}
+		}
+	}
+	q := 0.0
+	for c := 0; c < k; c++ {
+		q += internal[c]/twoM - gamma*(total[c]/twoM)*(total[c]/twoM)
+	}
+	return q
+}

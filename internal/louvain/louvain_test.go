@@ -1,0 +1,219 @@
+package louvain
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+func twoTriangles(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6, false)
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestTwoTriangles(t *testing.T) {
+	res, err := Run(twoTriangles(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 2 {
+		t.Fatalf("found %d modules, want 2 (%v)", res.NumModules, res.Membership)
+	}
+	if res.Membership[0] != res.Membership[1] || res.Membership[3] != res.Membership[5] {
+		t.Fatalf("triangles split: %v", res.Membership)
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity %g too low", res.Modularity)
+	}
+}
+
+func TestModularityKnownValue(t *testing.T) {
+	// Two disconnected edges, each its own community:
+	// m=2, each community internal weight 1, total degree 2.
+	// Q = 2*(1/4 - (2/4)^2)... compute: internal[c]/2m with internal counted
+	// once = 1/2? Use the formula directly: Q = Σ w_in/m - (tot/2m)^2
+	// = 2*(0.5 - 0.25) = 0.5.
+	b := graph.NewBuilder(4, false)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g := b.Build()
+	q := Modularity(g, []uint32{0, 0, 1, 1}, 1)
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("Q = %g, want 0.5", q)
+	}
+	// Everything in one community: Q = 1 - 1 = 0.
+	q = Modularity(g, []uint32{0, 0, 0, 0}, 1)
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("single-community Q = %g, want 0", q)
+	}
+}
+
+func TestModularityEdgeCases(t *testing.T) {
+	g := graph.NewBuilder(0, false).Build()
+	if Modularity(g, nil, 1) != 0 {
+		t.Fatal("empty graph Q != 0")
+	}
+	g2 := graph.NewBuilder(3, false).Build()
+	if Modularity(g2, []uint32{0, 1, 2}, 1) != 0 {
+		t.Fatal("edgeless graph Q != 0")
+	}
+	if Modularity(g2, []uint32{0}, 1) != 0 {
+		t.Fatal("bad membership length should yield 0")
+	}
+}
+
+func TestSBMRecovery(t *testing.T) {
+	g, planted, err := gen.SBM(gen.SBMParams{Sizes: []int{50, 50, 50}, PIn: 0.3, POut: 0.005}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 3 {
+		t.Fatalf("found %d modules, want 3", res.NumModules)
+	}
+	agree, total := 0, 0
+	for i := 0; i < len(planted); i += 5 {
+		for j := i + 1; j < len(planted); j += 11 {
+			total++
+			if (planted[i] == planted[j]) == (res.Membership[i] == res.Membership[j]) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Fatalf("pair agreement %.2f", frac)
+	}
+}
+
+func TestResolutionLimit(t *testing.T) {
+	// A large ring of small cliques: classic Louvain (γ=1) is known to merge
+	// adjacent cliques once the ring is long enough (Fortunato–Barthélemy);
+	// this is the behaviour Infomap avoids. 30 cliques of size 3 suffice.
+	g, _, err := gen.CliqueChain(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules >= 30 {
+		t.Fatalf("Louvain found %d modules on a 30-clique ring; expected the resolution limit to merge some cliques", res.NumModules)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMParams{Sizes: []int{40, 40}, PIn: 0.3, POut: 0.02}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Modularity != r2.Modularity || r1.NumModules != r2.NumModules {
+		t.Fatal("nondeterministic results with fixed seed")
+	}
+	for i := range r1.Membership {
+		if r1.Membership[i] != r2.Membership[i] {
+			t.Fatalf("membership differs at %d", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := twoTriangles(t)
+	bad := DefaultOptions()
+	bad.MaxSweeps = 0
+	if _, err := Run(g, bad); err == nil {
+		t.Fatal("MaxSweeps=0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.Resolution = 0
+	if _, err := Run(g, bad); err == nil {
+		t.Fatal("Resolution=0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.MinImprovement = -1
+	if _, err := Run(g, bad); err == nil {
+		t.Fatal("negative MinImprovement accepted")
+	}
+	db := graph.NewBuilder(2, true)
+	_ = db.AddEdge(0, 1, 1)
+	if _, err := Run(db.Build(), DefaultOptions()); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	res, err := Run(graph.NewBuilder(0, false).Build(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Membership) != 0 {
+		t.Fatal("empty graph produced membership")
+	}
+	res, err = Run(graph.NewBuilder(4, false).Build(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumModules != 4 {
+		t.Fatalf("edgeless graph: %d modules, want 4 singletons", res.NumModules)
+	}
+}
+
+func TestHighResolutionSplitsMore(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMParams{Sizes: []int{40, 40, 40}, PIn: 0.3, POut: 0.02}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := DefaultOptions()
+	lo.Resolution = 0.3
+	hi := DefaultOptions()
+	hi.Resolution = 4.0
+	rl, err := Run(g, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Run(g, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.NumModules < rl.NumModules {
+		t.Fatalf("higher resolution found fewer modules: %d vs %d", rh.NumModules, rl.NumModules)
+	}
+}
+
+func TestModularityImprovesOverSingletons(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(400, 0.2), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := make([]uint32, g.N())
+	for i := range singles {
+		singles[i] = uint32(i)
+	}
+	if res.Modularity <= Modularity(g, singles, 1) {
+		t.Fatalf("Louvain did not improve over singletons: %g", res.Modularity)
+	}
+}

@@ -1,0 +1,278 @@
+// Package mapeq implements the map equation of Rosvall & Bergstrom: the
+// information-theoretic objective that Infomap minimizes. It provides
+//
+//   - Flow: the stationary random-walk flow on a graph (visit rates, per-arc
+//     flows, and teleportation mass), for both undirected graphs (closed form)
+//     and directed graphs (from PageRank),
+//   - State: per-partition bookkeeping (module exit rates, flow masses) with
+//     O(1) incremental ΔL evaluation and application of vertex moves, which is
+//     exactly the quantity the FindBestCommunity kernel of the paper computes
+//     from its accumulated in/out flows.
+//
+// Conventions: plogp(x) = x·log2(x); codelengths are in bits per step.
+package mapeq
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asamap/asamap/internal/graph"
+)
+
+// Plogp returns x*log2(x) with the continuous extension Plogp(0) = 0.
+func Plogp(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}
+
+// Flow holds the stationary random-walk flow on a graph level. Arc flows are
+// stored parallel to the graph's CSR rows; self-loop arcs carry zero flow
+// because a self-transition can never exit a module and therefore never
+// enters the map equation.
+type Flow struct {
+	G *graph.Graph
+
+	NodeFlow []float64 // visit rate p_α of each vertex; sums to ~1
+	TeleOut  []float64 // teleportation mass emitted by each vertex
+	Land     []float64 // teleportation landing share of each vertex; sums to 1
+	OutFlow  []float64 // flow on each out-arc, parallel to G's out CSR
+	InFlow   []float64 // flow on each in-arc, parallel to G's in CSR
+	ArcOut   []float64 // per vertex: total non-self out-arc flow
+	ArcIn    []float64 // per vertex: total non-self in-arc flow
+	// ExtIn, when non-nil, is flow entering each vertex from outside the
+	// graph (the enter-side analogue of pure-exit TeleOut). The hierarchical
+	// driver uses it to represent boundary in-flow when optimizing inside a
+	// module.
+	ExtIn []float64
+}
+
+// NewUndirectedFlow builds the closed-form stationary flow of an unbiased
+// random walk on an undirected graph: p_u ∝ strength(u), arc flow w/(2W).
+// There is no teleportation.
+func NewUndirectedFlow(g *graph.Graph) (*Flow, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("mapeq: NewUndirectedFlow on a directed graph")
+	}
+	n := g.N()
+	f := newFlowShell(g)
+	total := g.TotalWeight()
+	if total == 0 {
+		for u := 0; u < n; u++ {
+			if n > 0 {
+				f.NodeFlow[u] = 1 / float64(n)
+				f.Land[u] = 1 / float64(n)
+			}
+		}
+		return f, nil
+	}
+	idx := 0
+	for u := 0; u < n; u++ {
+		s := g.OutStrength(u)
+		f.NodeFlow[u] = s / total
+		f.Land[u] = 1 / float64(n)
+		ws := g.OutWeights(u)
+		nb := g.OutNeighbors(u)
+		for i := range ws {
+			fl := ws[i] / total
+			if int(nb[i]) == u {
+				fl = 0
+			}
+			f.OutFlow[idx] = fl
+			f.ArcOut[u] += fl
+			idx++
+		}
+	}
+	// Undirected: in CSR aliases out CSR, flows are symmetric.
+	f.InFlow = f.OutFlow
+	copy(f.ArcIn, f.ArcOut)
+	return f, nil
+}
+
+// NewDirectedFlow builds the flow of a teleporting random walk on a directed
+// graph from its stationary visit rates (PageRank with the same damping).
+// Arc flow u→v is damping·p_u·w_uv/s_u; the remaining (1−damping)·p_u (all of
+// p_u for dangling vertices) teleports uniformly over landing shares.
+func NewDirectedFlow(g *graph.Graph, rank []float64, damping float64) (*Flow, error) {
+	if !g.Directed() {
+		return nil, fmt.Errorf("mapeq: NewDirectedFlow on an undirected graph")
+	}
+	if len(rank) != g.N() {
+		return nil, fmt.Errorf("mapeq: rank length %d, want %d", len(rank), g.N())
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("mapeq: damping %g out of (0,1)", damping)
+	}
+	n := g.N()
+	f := newFlowShell(g)
+	copy(f.NodeFlow, rank)
+	for u := 0; u < n; u++ {
+		if n > 0 {
+			f.Land[u] = 1 / float64(n)
+		}
+		s := g.OutStrength(u)
+		if s == 0 {
+			f.TeleOut[u] = rank[u] // dangling: everything teleports
+			continue
+		}
+		f.TeleOut[u] = (1 - damping) * rank[u]
+	}
+	// Out-arc flows.
+	idx := 0
+	for u := 0; u < n; u++ {
+		s := g.OutStrength(u)
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i := range nb {
+			fl := 0.0
+			if s > 0 && int(nb[i]) != u {
+				fl = damping * rank[u] * ws[i] / s
+			}
+			f.OutFlow[idx] = fl
+			f.ArcOut[u] += fl
+			idx++
+		}
+	}
+	// In-arc flows mirror the out flows.
+	idx = 0
+	for v := 0; v < n; v++ {
+		in, ws := g.InNeighbors(v), g.InWeights(v)
+		for i := range in {
+			u := int(in[i])
+			fl := 0.0
+			if s := g.OutStrength(u); s > 0 && u != v {
+				fl = damping * rank[u] * ws[i] / s
+			}
+			f.InFlow[idx] = fl
+			f.ArcIn[v] += fl
+			idx++
+		}
+	}
+	return f, nil
+}
+
+func newFlowShell(g *graph.Graph) *Flow {
+	n := g.N()
+	f := &Flow{
+		G:        g,
+		NodeFlow: make([]float64, n),
+		TeleOut:  make([]float64, n),
+		Land:     make([]float64, n),
+		OutFlow:  make([]float64, g.M()),
+		ArcOut:   make([]float64, n),
+		ArcIn:    make([]float64, n),
+	}
+	if g.Directed() {
+		f.InFlow = make([]float64, g.M())
+	}
+	return f
+}
+
+// Contract aggregates the flow onto the quotient graph induced by
+// membership. Super-arcs carry summed boundary flow (intra-module flow
+// disappears into implicit self-transitions); node flows, teleportation mass,
+// and landing shares sum over members. The resulting level is always
+// represented as a directed flow graph, which is exact for both input kinds
+// because the map equation consumes only per-arc flows.
+func (f *Flow) Contract(membership []uint32, numModules int) (*Flow, error) {
+	g := f.G
+	if len(membership) != g.N() {
+		return nil, fmt.Errorf("mapeq: membership length %d, want %d", len(membership), g.N())
+	}
+	b := graph.NewBuilder(numModules, true)
+	idx := 0
+	for u := 0; u < g.N(); u++ {
+		mu := membership[u]
+		nb := g.OutNeighbors(u)
+		for i := range nb {
+			fl := f.OutFlow[idx]
+			idx++
+			if fl <= 0 {
+				continue
+			}
+			mv := membership[nb[i]]
+			if mu == mv {
+				continue
+			}
+			if err := b.AddEdge(mu, mv, fl); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sg := b.Build()
+	sf := newFlowShell(sg)
+	for u := 0; u < g.N(); u++ {
+		m := membership[u]
+		if int(m) >= numModules {
+			return nil, fmt.Errorf("mapeq: vertex %d module %d out of range", u, m)
+		}
+		sf.NodeFlow[m] += f.NodeFlow[u]
+		sf.TeleOut[m] += f.TeleOut[u]
+		sf.Land[m] += f.Land[u]
+	}
+	// Super-arc flows are the edge weights themselves.
+	idx = 0
+	for u := 0; u < sg.N(); u++ {
+		ws := sg.OutWeights(u)
+		for i := range ws {
+			sf.OutFlow[idx] = ws[i]
+			sf.ArcOut[u] += ws[i]
+			idx++
+		}
+	}
+	idx = 0
+	for v := 0; v < sg.N(); v++ {
+		ws := sg.InWeights(v)
+		for i := range ws {
+			sf.InFlow[idx] = ws[i]
+			sf.ArcIn[v] += ws[i]
+			idx++
+		}
+	}
+	return sf, nil
+}
+
+// NewDirectedFlowUnrecorded builds the "unrecorded teleportation" flow model
+// — the default of the modern reference Infomap: teleportation is used only
+// to make the walk ergodic (through the PageRank ranks), but teleportation
+// steps are not encoded. Arc flows are damping·p_u·w/s_u as in the recorded
+// model; the encoded visit rate of each vertex is its arc in-flow, and the
+// whole flow field is renormalized to sum to 1. There is no teleportation
+// mass in the returned flow, so module enter and exit rates come from arcs
+// alone (and generally differ, which the State handles).
+func NewDirectedFlowUnrecorded(g *graph.Graph, rank []float64, damping float64) (*Flow, error) {
+	f, err := NewDirectedFlow(g, rank, damping)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// Encoded visit rate = arc in-flow; drop teleportation.
+	total := 0.0
+	for v := 0; v < n; v++ {
+		total += f.ArcIn[v]
+	}
+	if total <= 0 {
+		// Arcless graph: fall back to uniform rates with no flow.
+		for v := 0; v < n; v++ {
+			f.NodeFlow[v] = 1 / float64(n)
+			f.TeleOut[v] = 0
+		}
+		return f, nil
+	}
+	inv := 1 / total
+	for v := 0; v < n; v++ {
+		f.NodeFlow[v] = f.ArcIn[v] * inv
+		f.TeleOut[v] = 0
+		f.ArcOut[v] *= inv
+		f.ArcIn[v] *= inv
+	}
+	for i := range f.OutFlow {
+		f.OutFlow[i] *= inv
+	}
+	if &f.InFlow[0] != &f.OutFlow[0] {
+		for i := range f.InFlow {
+			f.InFlow[i] *= inv
+		}
+	}
+	return f, nil
+}

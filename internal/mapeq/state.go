@@ -1,0 +1,328 @@
+package mapeq
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeView bundles the per-vertex flow quantities the FindBestCommunity
+// kernel needs when evaluating moves of one vertex.
+type NodeView struct {
+	Node    int
+	Flow    float64 // visit rate p_α
+	TeleOut float64 // teleportation mass emitted by α
+	Land    float64 // teleportation landing share of α
+	ArcOut  float64 // total non-self out-arc flow of α
+	ArcIn   float64 // total non-self in-arc flow of α
+	ExtIn   float64 // flow entering α from outside the graph (usually 0)
+}
+
+// View returns the NodeView of vertex u.
+func (f *Flow) View(u int) NodeView {
+	v := NodeView{
+		Node:    u,
+		Flow:    f.NodeFlow[u],
+		TeleOut: f.TeleOut[u],
+		Land:    f.Land[u],
+		ArcOut:  f.ArcOut[u],
+		ArcIn:   f.ArcIn[u],
+	}
+	if f.ExtIn != nil {
+		v.ExtIn = f.ExtIn[u]
+	}
+	return v
+}
+
+// OneLevelCodelength returns the codelength of the trivial one-module
+// partition: the Shannon entropy of the visit rates. It upper-bounds the
+// optimal two-level codelength and is the paper's reference point for
+// "compression achieved".
+func OneLevelCodelength(f *Flow) float64 {
+	h := 0.0
+	for _, p := range f.NodeFlow {
+		h -= Plogp(p)
+	}
+	return h
+}
+
+// State is the incremental map-equation bookkeeping for one partition of one
+// flow level. It supports O(1) evaluation (DeltaMove) and application (Apply)
+// of single-vertex moves, mirroring the module statistics HyPC-Map maintains.
+//
+// State is not safe for concurrent mutation; the parallel kernel in package
+// infomap serializes Apply calls and tolerates stale reads during the
+// parallel evaluation phase, exactly as the relaxed concurrency of the
+// original algorithm does.
+type State struct {
+	f          *Flow
+	membership []uint32
+
+	flow  []float64 // per module: Σ member visit rates
+	tele  []float64 // per module: Σ member teleport output
+	land  []float64 // per module: Σ member landing shares
+	size  []int     // per module: member count
+	exit  []float64 // per module: exit rate
+	enter []float64 // per module: enter rate
+
+	teleTotal float64 // Σ teleport output over all vertices (constant)
+
+	sumEnter      float64
+	sumPlogpEnter float64 // Σ plogp(enter_i)
+	sumPlogpExit  float64 // Σ plogp(exit_i)
+	sumPlogpBoth  float64 // Σ plogp(exit_i + flow_i)
+	nodeTerm      float64 // Σ plogp(p_α), partition independent
+	exitOffset    float64 // constant added inside plogp(sumEnter + offset)
+}
+
+// NewState builds the bookkeeping for the given membership (dense module IDs
+// in [0, numModules)).
+func NewState(f *Flow, membership []uint32, numModules int) (*State, error) {
+	n := f.G.N()
+	if len(membership) != n {
+		return nil, fmt.Errorf("mapeq: membership length %d, want %d", len(membership), n)
+	}
+	s := &State{
+		f:          f,
+		membership: membership,
+		flow:       make([]float64, numModules),
+		tele:       make([]float64, numModules),
+		land:       make([]float64, numModules),
+		size:       make([]int, numModules),
+		exit:       make([]float64, numModules),
+		enter:      make([]float64, numModules),
+	}
+	for _, t := range f.TeleOut {
+		s.teleTotal += t
+	}
+	for u := 0; u < n; u++ {
+		m := membership[u]
+		if int(m) >= numModules {
+			return nil, fmt.Errorf("mapeq: vertex %d module %d >= %d", u, m, numModules)
+		}
+		s.flow[m] += f.NodeFlow[u]
+		s.tele[m] += f.TeleOut[u]
+		s.land[m] += f.Land[u]
+		s.size[m]++
+		s.nodeTerm += Plogp(f.NodeFlow[u])
+	}
+	s.recomputeExits()
+	return s, nil
+}
+
+// recomputeExits rebuilds q_i and the aggregate codelength terms from
+// scratch. Used at construction and to wash out incremental floating-point
+// drift after many moves.
+func (s *State) recomputeExits() {
+	for i := range s.exit {
+		s.exit[i] = 0
+		s.enter[i] = 0
+	}
+	f, g := s.f, s.f.G
+	idx := 0
+	for u := 0; u < g.N(); u++ {
+		mu := s.membership[u]
+		nb := g.OutNeighbors(u)
+		for i := range nb {
+			fl := f.OutFlow[idx]
+			idx++
+			if fl > 0 {
+				if mv := s.membership[nb[i]]; mv != mu {
+					s.exit[mu] += fl
+					s.enter[mv] += fl
+				}
+			}
+		}
+	}
+	if f.ExtIn != nil {
+		for u := 0; u < g.N(); u++ {
+			s.enter[s.membership[u]] += f.ExtIn[u]
+		}
+	}
+	for m := range s.exit {
+		if s.size[m] > 0 {
+			s.exit[m] += s.tele[m] * (1 - s.land[m])
+			s.enter[m] += (s.teleTotal - s.tele[m]) * s.land[m]
+		}
+	}
+	s.sumEnter, s.sumPlogpEnter, s.sumPlogpExit, s.sumPlogpBoth = 0, 0, 0, 0
+	for m := range s.exit {
+		s.sumEnter += s.enter[m]
+		s.sumPlogpEnter += Plogp(s.enter[m])
+		s.sumPlogpExit += Plogp(s.exit[m])
+		s.sumPlogpBoth += Plogp(s.exit[m] + s.flow[m])
+	}
+}
+
+// Refresh recomputes all aggregates from the current membership, washing out
+// incremental floating-point drift.
+func (s *State) Refresh() { s.recomputeExits() }
+
+// SetExitOffset adds a constant to the index-codebook rate: the codelength's
+// plogp(Σq) term becomes plogp(Σq + offset). The hierarchical driver uses
+// this when optimizing inside a module, whose index codebook also encodes
+// the module's own (fixed) exit rate.
+func (s *State) SetExitOffset(offset float64) { s.exitOffset = offset }
+
+// Codelength returns the current two-level map equation value L(M) in bits.
+// The general (directed, possibly non-stationary) form prices the index
+// codebook by module *enter* rates and each module codebook by its *exit*
+// rate plus member visits; for undirected and stationary recorded flows the
+// two rates coincide and this reduces to the familiar symmetric formula.
+func (s *State) Codelength() float64 {
+	return Plogp(s.sumEnter+s.exitOffset) - s.sumPlogpEnter - s.sumPlogpExit +
+		s.sumPlogpBoth - s.nodeTerm
+}
+
+// NodeTerm returns the partition-independent Σ plogp(p_α) term.
+func (s *State) NodeTerm() float64 { return s.nodeTerm }
+
+// OverrideNodeTerm replaces the node term. The multi-level driver uses this
+// at super-node levels: index and exit terms are computed over super nodes,
+// but the within-module code must keep pricing the original leaf vertices,
+// so the leaf-level Σ plogp(p_α) is carried through the hierarchy.
+func (s *State) OverrideNodeTerm(t float64) { s.nodeTerm = t }
+
+// Module returns the module of vertex u.
+func (s *State) Module(u int) uint32 { return s.membership[u] }
+
+// Membership returns the underlying membership slice. Callers must treat it
+// as read-only; moves go through Apply.
+func (s *State) Membership() []uint32 { return s.membership }
+
+// NumModules returns the number of non-empty modules.
+func (s *State) NumModules() int {
+	n := 0
+	for _, c := range s.size {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ModuleFlow returns the flow mass of module m.
+func (s *State) ModuleFlow(m uint32) float64 { return s.flow[m] }
+
+// ModuleExit returns the exit rate of module m.
+func (s *State) ModuleExit(m uint32) float64 { return s.exit[m] }
+
+// ModuleEnter returns the enter rate of module m (equal to ModuleExit for
+// undirected and stationary recorded flows).
+func (s *State) ModuleEnter(m uint32) float64 { return s.enter[m] }
+
+// ModuleSize returns the member count of module m.
+func (s *State) ModuleSize(m uint32) int { return s.size[m] }
+
+// moveDeltas returns the changes to the exit and enter rates of the old and
+// new modules if vertex v moved, given the accumulated arc flows between v
+// and the two modules (exactly the values the paper's hash accumulation step
+// produces): outOld/inOld are v's arc flow to/from other members of its
+// current module, outNew/inNew to/from members of newMod.
+func (s *State) moveDeltas(v NodeView, old, newMod uint32, outOld, inOld, outNew, inNew float64) (dExitOld, dEnterOld, dExitNew, dEnterNew float64) {
+	// Removing v from old: v's boundary out-flow and teleport exits
+	// disappear, while arcs and teleportation from remaining members to v
+	// become exits; symmetrically for enters.
+	dExitOld = -(v.ArcOut - outOld) - v.TeleOut*(1-s.land[old]) +
+		inOld + (s.tele[old]-v.TeleOut)*v.Land
+	dEnterOld = -(v.ArcIn - inOld) - v.ExtIn - (s.teleTotal-s.tele[old])*v.Land +
+		outOld + v.TeleOut*(s.land[old]-v.Land)
+	// Adding v to newMod.
+	dExitNew = (v.ArcOut - outNew) + v.TeleOut*(1-s.land[newMod]-v.Land) -
+		inNew - s.tele[newMod]*v.Land
+	dEnterNew = (v.ArcIn - inNew) + v.ExtIn + (s.teleTotal-s.tele[newMod]-v.TeleOut)*v.Land -
+		outNew - v.TeleOut*s.land[newMod]
+	return
+}
+
+// DeltaMove returns the change in codelength (bits) if vertex v moved from
+// its current module to newMod. Negative is an improvement. The four flow
+// arguments are the accumulated arc flows described at exitDeltas.
+func (s *State) DeltaMove(v NodeView, newMod uint32, outOld, inOld, outNew, inNew float64) float64 {
+	old := s.membership[v.Node]
+	if old == newMod {
+		return 0
+	}
+	dxo, deo, dxn, den := s.moveDeltas(v, old, newMod, outOld, inOld, outNew, inNew)
+	exitOld, exitNew := clampNonNeg(s.exit[old]+dxo), clampNonNeg(s.exit[newMod]+dxn)
+	enterOld, enterNew := clampNonNeg(s.enter[old]+deo), clampNonNeg(s.enter[newMod]+den)
+	sumEnterAfter := s.sumEnter + (enterOld - s.enter[old]) + (enterNew - s.enter[newMod])
+
+	delta := Plogp(sumEnterAfter+s.exitOffset) - Plogp(s.sumEnter+s.exitOffset)
+	delta -= Plogp(enterOld) - Plogp(s.enter[old]) + Plogp(enterNew) - Plogp(s.enter[newMod])
+	delta -= Plogp(exitOld) - Plogp(s.exit[old]) + Plogp(exitNew) - Plogp(s.exit[newMod])
+	delta += Plogp(exitOld+s.flow[old]-v.Flow) - Plogp(s.exit[old]+s.flow[old])
+	delta += Plogp(exitNew+s.flow[newMod]+v.Flow) - Plogp(s.exit[newMod]+s.flow[newMod])
+	return delta
+}
+
+func clampNonNeg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// Apply moves vertex v to newMod and updates all bookkeeping incrementally.
+// The flow arguments must be the same values passed to the corresponding
+// DeltaMove.
+func (s *State) Apply(v NodeView, newMod uint32, outOld, inOld, outNew, inNew float64) {
+	old := s.membership[v.Node]
+	if old == newMod {
+		return
+	}
+	dxo, deo, dxn, den := s.moveDeltas(v, old, newMod, outOld, inOld, outNew, inNew)
+	exitOld, exitNew := clampNonNeg(s.exit[old]+dxo), clampNonNeg(s.exit[newMod]+dxn)
+	enterOld, enterNew := clampNonNeg(s.enter[old]+deo), clampNonNeg(s.enter[newMod]+den)
+
+	s.sumEnter += (enterOld - s.enter[old]) + (enterNew - s.enter[newMod])
+	s.sumPlogpEnter += Plogp(enterOld) - Plogp(s.enter[old]) +
+		Plogp(enterNew) - Plogp(s.enter[newMod])
+	s.sumPlogpExit += Plogp(exitOld) - Plogp(s.exit[old]) +
+		Plogp(exitNew) - Plogp(s.exit[newMod])
+	s.sumPlogpBoth += Plogp(exitOld+s.flow[old]-v.Flow) - Plogp(s.exit[old]+s.flow[old]) +
+		Plogp(exitNew+s.flow[newMod]+v.Flow) - Plogp(s.exit[newMod]+s.flow[newMod])
+
+	s.exit[old] = exitOld
+	s.exit[newMod] = exitNew
+	s.enter[old] = enterOld
+	s.enter[newMod] = enterNew
+	s.flow[old] -= v.Flow
+	s.flow[newMod] += v.Flow
+	s.tele[old] -= v.TeleOut
+	s.tele[newMod] += v.TeleOut
+	s.land[old] -= v.Land
+	s.land[newMod] += v.Land
+	s.size[old]--
+	s.size[newMod]++
+	s.membership[v.Node] = newMod
+
+	// Guard against negative drift in emptied modules.
+	if s.size[old] == 0 {
+		s.flow[old] = clampTiny(s.flow[old])
+		s.tele[old] = clampTiny(s.tele[old])
+		s.land[old] = clampTiny(s.land[old])
+	}
+}
+
+func clampTiny(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 0
+	}
+	return x
+}
+
+// CompactMembership renumbers the membership to dense module IDs
+// [0, k) preserving first-appearance order and returns the module count.
+// It is used before contraction to super nodes.
+func CompactMembership(membership []uint32) int {
+	remap := make(map[uint32]uint32)
+	for i, m := range membership {
+		id, ok := remap[m]
+		if !ok {
+			id = uint32(len(remap))
+			remap[m] = id
+		}
+		membership[i] = id
+	}
+	return len(remap)
+}

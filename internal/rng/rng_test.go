@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	if v == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %g, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPowerLawBounds(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 5000; i++ {
+		k := r.PowerLaw(2, 100, 2.5)
+		if k < 2 || k > 100 {
+			t.Fatalf("PowerLaw out of bounds: %d", k)
+		}
+	}
+}
+
+func TestPowerLawDegenerate(t *testing.T) {
+	r := New(13)
+	if k := r.PowerLaw(5, 5, 2.0); k != 5 {
+		t.Fatalf("PowerLaw(5,5) = %d, want 5", k)
+	}
+	if k := r.PowerLaw(0, 0, 2.0); k != 1 {
+		t.Fatalf("PowerLaw(0,0) = %d, want clamp to 1", k)
+	}
+	if k := r.PowerLaw(7, 3, 2.0); k != 7 {
+		t.Fatalf("PowerLaw(7,3) = %d, want max clamped up to min", k)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// A power law with gamma=2.5 should put most of its mass near the
+	// minimum degree.
+	r := New(17)
+	low := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.PowerLaw(1, 1000, 2.5) <= 3 {
+			low++
+		}
+	}
+	if frac := float64(low) / n; frac < 0.75 {
+		t.Fatalf("only %.2f of samples <= 3; distribution not heavy at head", frac)
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	totalFlips := 0
+	const trials = 64
+	for bit := 0; bit < trials; bit++ {
+		a := Hash64(12345)
+		b := Hash64(12345 ^ (1 << uint(bit)))
+		x := a ^ b
+		for x != 0 {
+			totalFlips += int(x & 1)
+			x >>= 1
+		}
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %g bits, want ~32", avg)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(99)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("split streams overlapped %d times", same)
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	r := New(21)
+	f := func(n uint16, _ uint8) bool {
+		m := int(n)%1000 + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUint64nInRange(t *testing.T) {
+	r := New(22)
+	f := func(n uint32) bool {
+		m := uint64(n) + 1
+		return r.Uint64n(m) < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}

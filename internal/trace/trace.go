@@ -1,0 +1,131 @@
+// Package trace collects per-kernel wall-clock timings, reproducing the
+// kernel breakdown instrumentation behind the paper's Figure 2 and Figure 7.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kernel names matching the paper's decomposition of HyPC-Map.
+const (
+	KernelPageRank          = "PageRank"
+	KernelFindBestCommunity = "FindBestCommunity"
+	KernelConvert2SuperNode = "Convert2SuperNode"
+	KernelUpdateMembers     = "UpdateMembers"
+)
+
+// Breakdown accumulates named durations. It is safe for concurrent Add.
+type Breakdown struct {
+	mu     sync.Mutex
+	spans  map[string]time.Duration
+	counts map[string]uint64
+}
+
+// NewBreakdown returns an empty Breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{
+		spans:  make(map[string]time.Duration),
+		counts: make(map[string]uint64),
+	}
+}
+
+// Add records d under name.
+func (b *Breakdown) Add(name string, d time.Duration) {
+	b.mu.Lock()
+	b.spans[name] += d
+	b.counts[name]++
+	b.mu.Unlock()
+}
+
+// Time runs fn and records its duration under name.
+func (b *Breakdown) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	b.Add(name, time.Since(start))
+}
+
+// Get returns the accumulated duration for name.
+func (b *Breakdown) Get(name string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spans[name]
+}
+
+// Count returns how many spans were recorded under name.
+func (b *Breakdown) Count(name string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[name]
+}
+
+// Total returns the sum over all names.
+func (b *Breakdown) Total() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.spans {
+		t += d
+	}
+	return t
+}
+
+// Share returns name's fraction of Total (0 when empty).
+func (b *Breakdown) Share(name string) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Get(name)) / float64(total)
+}
+
+// Names returns all recorded kernel names, sorted.
+func (b *Breakdown) Names() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.spans))
+	for n := range b.spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all of other's spans into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	other.mu.Lock()
+	spans := make(map[string]time.Duration, len(other.spans))
+	counts := make(map[string]uint64, len(other.counts))
+	for k, v := range other.spans {
+		spans[k] = v
+	}
+	for k, v := range other.counts {
+		counts[k] = v
+	}
+	other.mu.Unlock()
+
+	b.mu.Lock()
+	for k, v := range spans {
+		b.spans[k] += v
+		b.counts[k] += counts[k]
+	}
+	b.mu.Unlock()
+}
+
+// String renders the breakdown as one line per kernel with shares.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	total := b.Total()
+	for _, n := range b.Names() {
+		d := b.Get(n)
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-20s %12v  %5.1f%%\n", n, d.Round(time.Microsecond), share)
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(KernelPageRank, 100*time.Millisecond)
+	b.Add(KernelPageRank, 50*time.Millisecond)
+	b.Add(KernelFindBestCommunity, 300*time.Millisecond)
+	if b.Get(KernelPageRank) != 150*time.Millisecond {
+		t.Fatalf("Get = %v", b.Get(KernelPageRank))
+	}
+	if b.Count(KernelPageRank) != 2 {
+		t.Fatalf("Count = %d", b.Count(KernelPageRank))
+	}
+	if b.Total() != 450*time.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if s := b.Share(KernelFindBestCommunity); s < 0.66 || s > 0.67 {
+		t.Fatalf("Share = %g", s)
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	b := NewBreakdown()
+	b.Time("work", func() { time.Sleep(2 * time.Millisecond) })
+	if b.Get("work") < 2*time.Millisecond {
+		t.Fatalf("timed span too short: %v", b.Get("work"))
+	}
+}
+
+func TestEmptyBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	if b.Total() != 0 || b.Share("x") != 0 || len(b.Names()) != 0 {
+		t.Fatal("empty breakdown misbehaves")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Add("k", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Get("k") != 8000*time.Microsecond {
+		t.Fatalf("concurrent adds lost: %v", b.Get("k"))
+	}
+}
+
+func TestMergeAndString(t *testing.T) {
+	a := NewBreakdown()
+	a.Add("x", time.Second)
+	b := NewBreakdown()
+	b.Add("x", time.Second)
+	b.Add("y", 2*time.Second)
+	a.Merge(b)
+	if a.Get("x") != 2*time.Second || a.Get("y") != 2*time.Second {
+		t.Fatal("merge wrong")
+	}
+	s := a.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "y") || !strings.Contains(s, "%") {
+		t.Fatalf("String output: %q", s)
+	}
+	names := a.Names()
+	if len(names) != 2 || names[0] != "x" {
+		t.Fatalf("Names = %v", names)
+	}
+}
