@@ -19,6 +19,7 @@
 package asamap
 
 import (
+	"context"
 	"io"
 
 	"github.com/asamap/asamap/internal/asa"
@@ -100,6 +101,13 @@ func DetectCommunities(g *Graph, opt Options) (*Result, error) {
 	return infomap.Run(g, opt)
 }
 
+// DetectCommunitiesContext is DetectCommunities under a context: the run
+// observes cancellation at kernel and sweep boundaries and returns
+// ctx.Err() promptly, without leaking worker goroutines.
+func DetectCommunitiesContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	return infomap.RunContext(ctx, g, opt)
+}
+
 // CommunityModules groups vertex IDs by module.
 func CommunityModules(membership []uint32) [][]int {
 	return infomap.Modules(membership)
@@ -118,6 +126,12 @@ type HierNode = infomap.HierNode
 // and grouping modules under super modules wherever that shortens the code.
 func DetectCommunitiesHierarchical(g *Graph, opt Options) (*HierResult, error) {
 	return infomap.RunHierarchical(g, opt)
+}
+
+// DetectCommunitiesHierarchicalContext is DetectCommunitiesHierarchical
+// under a context.
+func DetectCommunitiesHierarchicalContext(ctx context.Context, g *Graph, opt Options) (*HierResult, error) {
+	return infomap.RunHierarchicalContext(ctx, g, opt)
 }
 
 // LouvainOptions configures the modularity-based baseline.

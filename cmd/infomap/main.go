@@ -8,16 +8,23 @@
 //	infomap -in graph.txt -directed -accum asa  # directed, ASA backend
 //	infomap -in graph.txt -out communities.txt  # write "vertex module" lines
 //	infomap -in graph.txt -workers 4 -stats     # parallel run + kernel stats
+//	infomap -in graph.txt -timeout 30s          # bound the wall-clock time
+//	infomap -in graph.txt -dist-ranks 8 \
+//	    -fault-drop 0.2 -fault-crash-rank 1 -fault-crash-step 2 \
+//	    -fault-down-for 3                       # faulted distributed run
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/dist"
 	"github.com/asamap/asamap/internal/export"
+	"github.com/asamap/asamap/internal/fault"
 	"github.com/asamap/asamap/internal/graph"
 	"github.com/asamap/asamap/internal/infomap"
 	"github.com/asamap/asamap/internal/mapeq"
@@ -39,7 +46,23 @@ func main() {
 	tree := flag.String("tree", "", "write the hierarchy in Infomap .tree format to this path (implies -hierarchical)")
 	gexf := flag.String("gexf", "", "write the community-colored graph as GEXF (Gephi) to this path")
 	dot := flag.String("dot", "", "write the community-colored graph as Graphviz DOT to this path")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	distRanks := flag.Int("dist-ranks", 0, "run the simulated distributed substrate on this many ranks instead of the shared-memory path (0 = off)")
+	faultDrop := flag.Float64("fault-drop", 0, "distributed: per-message delta-batch drop probability")
+	faultDup := flag.Float64("fault-dup", 0, "distributed: per-message duplication probability")
+	faultDelay := flag.Float64("fault-delay", 0, "distributed: per-message one-superstep delay probability")
+	faultCrashRank := flag.Int("fault-crash-rank", -1, "distributed: crash this rank (-1 = no crash)")
+	faultCrashStep := flag.Int("fault-crash-step", 0, "distributed: global superstep at which the rank crashes")
+	faultDownFor := flag.Int("fault-down-for", 1, "distributed: supersteps the crashed rank stays down")
+	faultSeed := flag.Uint64("fault-seed", 1, "distributed: seed for the fault injector's draws")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "infomap: -in is required")
@@ -74,7 +97,27 @@ func main() {
 		fatal(fmt.Errorf("unknown -accum %q", *accumKind))
 	}
 
-	res, err := infomap.Run(g, opt)
+	if *distRanks > 0 {
+		dopt := dist.DefaultOptions()
+		dopt.Ranks = *distRanks
+		dopt.Seed = *seed
+		dopt.Fault = fault.Config{
+			Seed:      *faultSeed,
+			DropProb:  *faultDrop,
+			DupProb:   *faultDup,
+			DelayProb: *faultDelay,
+		}
+		if *faultCrashRank >= 0 {
+			dopt.Fault.InjectCrash = true
+			dopt.Fault.CrashRank = *faultCrashRank
+			dopt.Fault.CrashStep = *faultCrashStep
+			dopt.Fault.CrashDownFor = *faultDownFor
+		}
+		runDistributed(ctx, g, labels, dopt, *out)
+		return
+	}
+
+	res, err := infomap.RunContext(ctx, g, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,7 +127,7 @@ func main() {
 	fmt.Printf("elapsed: %v (backend %s, %d workers)\n", res.Elapsed, opt.Kind, opt.Workers)
 
 	if *hierarchical || *tree != "" {
-		hres, err := infomap.RunHierarchical(g, opt)
+		hres, err := infomap.RunHierarchicalContext(ctx, g, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -163,6 +206,43 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d assignments to %s\n", len(res.Membership), *out)
+	}
+}
+
+// runDistributed executes the simulated distributed substrate (optionally
+// under an injected fault scenario) and prints its communication and
+// fault-recovery accounting.
+func runDistributed(ctx context.Context, g *graph.Graph, labels []uint64, dopt dist.Options, out string) {
+	res, err := dist.RunContext(ctx, g, dopt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d arcs (%s)\n", g.N(), g.M(), direction(g))
+	fmt.Printf("distributed: %d ranks, %d levels, %d modules, codelength %.6f (one-level %.6f)\n",
+		dopt.Ranks, res.Levels, res.NumModules, res.Codelength, res.OneLevelCodelength)
+	c := res.Comm
+	fmt.Printf("comm: %d supersteps, %d messages, %d bytes, %d updates, modeled %.6fs\n",
+		c.Supersteps, c.Messages, c.Bytes, c.UpdatesSent, c.ModeledCommSec)
+	fmt.Printf("faults: %d drops, %d retries, %d redelivered bytes, %d recoveries, %d checkpoint bytes, backoff %.6fs\n",
+		c.Drops, c.Retries, c.RedeliveredBytes, c.Recoveries, c.CheckpointBytes, c.BackoffSec)
+	fmt.Printf("injected: %d drops, %d duplicates, %d delays, %d crashes\n",
+		res.Fault.Drops, res.Fault.Duplicates, res.Fault.Delays, res.Fault.Crashes)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		for v, m := range res.Membership {
+			fmt.Fprintf(bw, "%d\t%d\n", labels[v], m)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d assignments to %s\n", len(res.Membership), out)
 	}
 }
 

@@ -1,0 +1,245 @@
+// Package fault provides a deterministic, seedable fault injector for the
+// simulated distributed substrate (internal/dist). The paper's host
+// algorithm, HyPC-Map, is a hybrid MPI+shared-memory Infomap; a production
+// deployment of its bulk-synchronous superstep structure must survive an
+// imperfect network and mortal ranks. The injector decides, per membership-
+// delta message, whether the network delivers, drops, duplicates, or delays
+// it, and whether a rank crashes at a given superstep.
+//
+// Every decision is a pure function of (seed, superstep, sender, receiver,
+// attempt): the injector hashes the coordinates instead of consuming a
+// shared random stream, so decisions are independent of the order in which
+// the simulation asks for them. Two runs with the same seed and the same
+// fault configuration therefore inject byte-identical fault schedules — the
+// property the replay-determinism tests rely on.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// Outcome is what the simulated network does with one delta message.
+type Outcome int
+
+const (
+	// Deliver hands the message to the receiver at the next superstep
+	// boundary (the fault-free behaviour).
+	Deliver Outcome = iota
+	// Drop loses the message; the sender times out and retries with
+	// exponential backoff.
+	Drop
+	// Duplicate delivers the message twice; the receiver must deduplicate
+	// (membership-delta application is idempotent, so duplicates cost only
+	// redelivered bytes).
+	Duplicate
+	// Delay delivers the message one superstep late, increasing the
+	// staleness of the receiver's ghost membership.
+	Delay
+)
+
+// String names the outcome for logs and test failures.
+func (o Outcome) String() string {
+	switch o {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Event pins the outcome of one specific message in a fixed schedule,
+// overriding the probabilistic draw. Fixed schedules make tests reproducible
+// without reverse-engineering hash draws.
+type Event struct {
+	Step    int // global superstep the message is sent in
+	From    int // sending rank
+	To      int // receiving rank, or -1 for every receiver
+	Outcome Outcome
+}
+
+// Config describes a fault scenario.
+type Config struct {
+	// Seed drives all probabilistic decisions. Independent of the
+	// simulation's own seed so the same algorithm run can be replayed under
+	// different fault schedules.
+	Seed uint64
+	// DropProb, DupProb, DelayProb are per-message probabilities, applied in
+	// that order to a single uniform draw. Their sum must be <= 1.
+	DropProb  float64
+	DupProb   float64
+	DelayProb float64
+	// InjectCrash enables the rank-crash fault: rank CrashRank crashes at
+	// global superstep CrashStep, stays down for CrashDownFor supersteps
+	// (minimum 1), and then recovers from its last checkpoint. The explicit
+	// flag keeps the zero-value Config fully inert.
+	InjectCrash  bool
+	CrashRank    int
+	CrashStep    int
+	CrashDownFor int
+	// Schedule lists fixed-outcome events that take precedence over the
+	// probabilistic draw for first-attempt sends.
+	Schedule []Event
+}
+
+// Disabled returns the no-fault configuration (the zero value).
+func Disabled() Config {
+	return Config{}
+}
+
+// Validate checks probability ranges and crash parameters.
+func (c Config) Validate() error {
+	for _, p := range []float64{c.DropProb, c.DupProb, c.DelayProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("fault: probability %g out of [0,1]", p)
+		}
+	}
+	if s := c.DropProb + c.DupProb + c.DelayProb; s > 1 {
+		return fmt.Errorf("fault: probabilities sum to %g > 1", s)
+	}
+	if c.InjectCrash {
+		if c.CrashRank < 0 {
+			return fmt.Errorf("fault: CrashRank %d < 0", c.CrashRank)
+		}
+		if c.CrashStep < 0 {
+			return fmt.Errorf("fault: CrashStep %d < 0", c.CrashStep)
+		}
+		if c.CrashDownFor < 0 {
+			return fmt.Errorf("fault: CrashDownFor %d < 0", c.CrashDownFor)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the configuration can inject any fault at all.
+func (c Config) Enabled() bool {
+	return c.DropProb > 0 || c.DupProb > 0 || c.DelayProb > 0 ||
+		c.InjectCrash || len(c.Schedule) > 0
+}
+
+// Stats counts the faults the injector has issued.
+type Stats struct {
+	Drops      uint64
+	Duplicates uint64
+	Delays     uint64
+	Crashes    uint64
+}
+
+// Injector makes fault decisions for one simulation run. A nil *Injector is
+// valid and injects nothing, so the fault-free path pays no branches beyond
+// a nil check.
+type Injector struct {
+	cfg   Config
+	stats Stats
+}
+
+// New builds an injector from a validated configuration. A configuration
+// with no enabled faults returns a nil injector (which is safe to use).
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// draw hashes the decision coordinates into a uniform float64 in [0,1).
+// rng.Hash64 is the SplitMix64 finalizer; chaining it over the coordinates
+// gives a high-quality order-independent stream.
+func (in *Injector) draw(step, from, to, attempt int) float64 {
+	h := rng.Hash64(in.cfg.Seed ^ 0x66_61_75_6c_74) // "fault"
+	h = rng.Hash64(h ^ uint64(step))
+	h = rng.Hash64(h ^ uint64(from)<<20 ^ uint64(to))
+	h = rng.Hash64(h ^ uint64(attempt)<<40)
+	return float64(h>>11) / (1 << 53)
+}
+
+// Outcome decides what happens to the delta batch rank `from` sends to rank
+// `to` at global superstep `step`. Attempt 0 is the original send; attempts
+// >= 1 are retransmissions (which the fixed schedule never overrides, so a
+// scheduled Drop is retried and eventually delivered).
+func (in *Injector) Outcome(step, from, to, attempt int) Outcome {
+	if in == nil {
+		return Deliver
+	}
+	if attempt == 0 {
+		for _, e := range in.cfg.Schedule {
+			if e.Step == step && e.From == from && (e.To == to || e.To == -1) {
+				in.count(e.Outcome)
+				return e.Outcome
+			}
+		}
+	}
+	u := in.draw(step, from, to, attempt)
+	var o Outcome
+	switch {
+	case u < in.cfg.DropProb:
+		o = Drop
+	case u < in.cfg.DropProb+in.cfg.DupProb:
+		o = Duplicate
+	case u < in.cfg.DropProb+in.cfg.DupProb+in.cfg.DelayProb:
+		o = Delay
+	default:
+		o = Deliver
+	}
+	in.count(o)
+	return o
+}
+
+func (in *Injector) count(o Outcome) {
+	switch o {
+	case Drop:
+		in.stats.Drops++
+	case Duplicate:
+		in.stats.Duplicates++
+	case Delay:
+		in.stats.Delays++
+	}
+}
+
+// CrashesAt reports whether rank crashes at global superstep step.
+func (in *Injector) CrashesAt(rank, step int) bool {
+	if in == nil || !in.cfg.InjectCrash {
+		return false
+	}
+	if rank == in.cfg.CrashRank && step == in.cfg.CrashStep {
+		in.stats.Crashes++
+		return true
+	}
+	return false
+}
+
+// DownFor returns how many supersteps a crashed rank stays down (>= 1).
+func (in *Injector) DownFor() int {
+	if in == nil || in.cfg.CrashDownFor < 1 {
+		return 1
+	}
+	return in.cfg.CrashDownFor
+}
+
+// RetryJitter returns a deterministic jitter in [0, spread) supersteps for
+// the given retransmission, decorrelating retry storms the way production
+// RPC stacks jitter their backoff timers.
+func (in *Injector) RetryJitter(step, from, to, attempt, spread int) int {
+	if in == nil || spread <= 1 {
+		return 0
+	}
+	u := in.draw(step, from, to, attempt+1<<16)
+	return int(u * float64(spread))
+}
+
+// Stats returns the fault counts issued so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilInjectorDeliversEverything(t *testing.T) {
+	var in *Injector
+	for step := 0; step < 10; step++ {
+		if o := in.Outcome(step, 0, 1, 0); o != Deliver {
+			t.Fatalf("nil injector returned %v", o)
+		}
+	}
+	if in.CrashesAt(0, 0) {
+		t.Fatal("nil injector crashed a rank")
+	}
+	if in.RetryJitter(0, 0, 1, 0, 4) != 0 {
+		t.Fatal("nil injector jittered")
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector counted faults: %+v", s)
+	}
+}
+
+func TestDisabledConfigYieldsNilInjector(t *testing.T) {
+	in, err := New(Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatal("disabled config produced a live injector")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{DropProb: -0.1},
+		{DropProb: 1.1},
+		{DropProb: 0.6, DupProb: 0.5},
+		{InjectCrash: true, CrashRank: -1},
+		{InjectCrash: true, CrashStep: -1},
+		{InjectCrash: true, CrashDownFor: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestOutcomeDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Disabled()
+	cfg.DropProb, cfg.DupProb, cfg.DelayProb = 0.2, 0.1, 0.1
+	cfg.Seed = 42
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(cfg)
+	// Same coordinates, queried in different orders, must agree.
+	type coord struct{ step, from, to, attempt int }
+	var coords []coord
+	for step := 0; step < 8; step++ {
+		for from := 0; from < 4; from++ {
+			for to := 0; to < 4; to++ {
+				coords = append(coords, coord{step, from, to, 0})
+			}
+		}
+	}
+	fwd := make([]Outcome, len(coords))
+	for i, c := range coords {
+		fwd[i] = a.Outcome(c.step, c.from, c.to, c.attempt)
+	}
+	for i := len(coords) - 1; i >= 0; i-- {
+		c := coords[i]
+		if o := b.Outcome(c.step, c.from, c.to, c.attempt); o != fwd[i] {
+			t.Fatalf("coordinate %+v: %v then %v", c, fwd[i], o)
+		}
+	}
+}
+
+func TestOutcomeRatesRoughlyMatchProbabilities(t *testing.T) {
+	cfg := Disabled()
+	cfg.DropProb, cfg.DupProb, cfg.DelayProb = 0.3, 0.2, 0.1
+	cfg.Seed = 7
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	counts := map[Outcome]int{}
+	for i := 0; i < n; i++ {
+		counts[in.Outcome(i, i%7, (i+1)%7, 0)]++
+	}
+	check := func(o Outcome, p float64) {
+		got := float64(counts[o]) / float64(n)
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("%v rate %.3f, want ~%.2f", o, got, p)
+		}
+	}
+	check(Drop, 0.3)
+	check(Duplicate, 0.2)
+	check(Delay, 0.1)
+	check(Deliver, 0.4)
+	st := in.Stats()
+	if st.Drops == 0 || st.Duplicates == 0 || st.Delays == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	mk := func(seed uint64) *Injector {
+		cfg := Disabled()
+		cfg.DropProb = 0.5
+		cfg.Seed = seed
+		in, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	total := 1000
+	for i := 0; i < total; i++ {
+		if a.Outcome(i, 0, 1, 0) == b.Outcome(i, 0, 1, 0) {
+			same++
+		}
+	}
+	if same == total {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestFixedScheduleOverridesDraw(t *testing.T) {
+	cfg := Disabled()
+	cfg.Schedule = []Event{
+		{Step: 3, From: 1, To: 2, Outcome: Drop},
+		{Step: 4, From: 0, To: -1, Outcome: Delay},
+	}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := in.Outcome(3, 1, 2, 0); o != Drop {
+		t.Fatalf("scheduled drop not honored: %v", o)
+	}
+	// To == -1 matches every receiver.
+	for to := 0; to < 5; to++ {
+		if o := in.Outcome(4, 0, to, 0); o != Delay {
+			t.Fatalf("wildcard delay not honored for to=%d: %v", to, o)
+		}
+	}
+	// Other coordinates are unaffected (all probabilities zero).
+	if o := in.Outcome(3, 2, 1, 0); o != Deliver {
+		t.Fatalf("unscheduled message faulted: %v", o)
+	}
+	// Retransmissions of a scheduled drop are not re-dropped.
+	if o := in.Outcome(3, 1, 2, 1); o != Deliver {
+		t.Fatalf("retry of scheduled drop faulted: %v", o)
+	}
+}
+
+func TestCrash(t *testing.T) {
+	cfg := Disabled()
+	cfg.InjectCrash = true
+	cfg.CrashRank, cfg.CrashStep, cfg.CrashDownFor = 2, 5, 3
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.CrashesAt(2, 4) || in.CrashesAt(1, 5) {
+		t.Fatal("crash at wrong coordinates")
+	}
+	if !in.CrashesAt(2, 5) {
+		t.Fatal("scheduled crash missed")
+	}
+	if in.DownFor() != 3 {
+		t.Fatalf("DownFor %d, want 3", in.DownFor())
+	}
+	if in.Stats().Crashes != 1 {
+		t.Fatalf("crash not counted: %+v", in.Stats())
+	}
+}
+
+func TestRetryJitterBounded(t *testing.T) {
+	cfg := Disabled()
+	cfg.DropProb = 0.5
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 6; attempt++ {
+		j := in.RetryJitter(10, 0, 1, attempt, 4)
+		if j < 0 || j >= 4 {
+			t.Fatalf("jitter %d out of [0,4)", j)
+		}
+		if k := in.RetryJitter(10, 0, 1, attempt, 4); k != j {
+			t.Fatal("jitter not deterministic")
+		}
+	}
+	if in.RetryJitter(10, 0, 1, 0, 1) != 0 {
+		t.Fatal("spread 1 must yield 0")
+	}
+}

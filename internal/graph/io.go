@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -63,13 +65,20 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, []uint64, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
 			}
-			if !(w > 0) {
-				return nil, nil, fmt.Errorf("graph: line %d: non-positive weight %g", lineNo, w)
+			// !(w > 0) catches NaN as well as zero and negatives; +Inf must
+			// be rejected separately or it poisons every flow downstream.
+			if !(w > 0) || math.IsInf(w, 0) {
+				return nil, nil, fmt.Errorf("graph: line %d: non-positive or non-finite weight %g", lineNo, w)
 			}
 		}
 		edges = append(edges, rawEdge{dense(a), dense(bb), w})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops on the line after the last one it delivered;
+			// naming it turns "token too long" into an actionable message.
+			return nil, nil, fmt.Errorf("graph: line %d: %w (lines are limited to 1 MiB)", lineNo+1, err)
+		}
 		return nil, nil, fmt.Errorf("graph: scanning edge list: %w", err)
 	}
 

@@ -1,6 +1,7 @@
 package infomap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,13 @@ type HierResult struct {
 // recursively splits each module into submodules while the hierarchical
 // codelength improves.
 func RunHierarchical(g *graph.Graph, opt Options) (*HierResult, error) {
-	flat, err := Run(g, opt)
+	return RunHierarchicalContext(context.Background(), g, opt)
+}
+
+// RunHierarchicalContext is RunHierarchical under a context; the flat run
+// and PageRank observe cancellation at their usual boundaries.
+func RunHierarchicalContext(ctx context.Context, g *graph.Graph, opt Options) (*HierResult, error) {
+	flat, err := RunContext(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +88,7 @@ func RunHierarchical(g *graph.Graph, opt Options) (*HierResult, error) {
 		cfg := pagerank.DefaultConfig()
 		cfg.Damping = opt.Damping
 		cfg.Workers = opt.Workers
-		pr, err := pagerank.Compute(g, cfg)
+		pr, err := pagerank.ComputeContext(ctx, g, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package infomap
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -28,7 +29,18 @@ import (
 //
 // Steps 2–4 repeat on the contracted graph until no further compression.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, opt)
+}
+
+// RunContext is Run under a context: cancellation is observed between
+// kernels and at every optimization-sweep boundary, returning ctx.Err()
+// promptly without leaking worker goroutines. Worker panics are recovered
+// and surfaced as errors instead of crashing the process.
+func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -41,7 +53,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		cfg := pagerank.DefaultConfig()
 		cfg.Damping = opt.Damping
 		cfg.Workers = opt.Workers
-		pr, err := pagerank.Compute(g, cfg)
+		pr, err := pagerank.ComputeContext(ctx, g, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +114,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	for outer := 0; outer < opt.OuterIters; outer++ {
 		flow := baseFlow
 		for level := 0; level < opt.MaxLevels; level++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			n := flow.G.N()
 			var membership []uint32
 			if level == 0 {
@@ -124,9 +139,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 			st.OverrideNodeTerm(leafNodeTerm)
 			res.Levels++
 
-			sweeps, moves := optimizeLevel(st, flow, workers, opt, r, bd, level, res)
+			sweeps, moves, err := optimizeLevel(ctx, st, flow, workers, opt, r, bd, level, res)
 			res.Sweeps += sweeps
 			res.Moves += moves
+			if err != nil {
+				return nil, err
+			}
 
 			// --- Kernel 3/4: contract modules to super nodes. ---
 			csStart := time.Now()
@@ -211,9 +229,12 @@ func collectWorkerStats(workers []*worker) []WorkerStats {
 // codelength stops improving. Each sweep evaluates all vertices in parallel
 // against a frozen state snapshot (read-only), then commits the improving
 // moves serially with a ΔL re-check — the relaxed two-phase concurrency that
-// shared-memory parallel Infomap implementations use.
-func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
-	opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64) {
+// shared-memory parallel Infomap implementations use. Cancellation is
+// checked once per sweep; a panic in any worker aborts the level with an
+// error after all workers of the sweep have finished (so no goroutine
+// outlives the call).
+func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, workers []*worker,
+	opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64, err error) {
 
 	n := flow.G.N()
 	// Active-vertex optimization (as in RelaxMap/HyPC-Map): only vertices
@@ -228,6 +249,9 @@ func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
 
 	prevL := st.Codelength()
 	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return sweeps, totalMoves, err
+		}
 		order = order[:0]
 		for v := 0; v < n; v++ {
 			if active[v] {
@@ -247,9 +271,13 @@ func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
 		}
 		m := len(order)
 		if len(workers) == 1 {
-			workers[0].evaluateRange(st, flow, order, 0, m)
+			if err := safeEvaluateRange(workers[0], st, flow, order, 0, m); err != nil {
+				return sweeps, totalMoves, err
+			}
 		} else {
 			var wg sync.WaitGroup
+			var panicMu sync.Mutex
+			var panicErr error
 			chunk := (m + len(workers) - 1) / len(workers)
 			for i, w := range workers {
 				lo := i * chunk
@@ -263,10 +291,19 @@ func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
 				wg.Add(1)
 				go func(w *worker, lo, hi int) {
 					defer wg.Done()
-					w.evaluateRange(st, flow, order, lo, hi)
+					if err := safeEvaluateRange(w, st, flow, order, lo, hi); err != nil {
+						panicMu.Lock()
+						if panicErr == nil {
+							panicErr = err
+						}
+						panicMu.Unlock()
+					}
 				}(w, lo, hi)
 			}
 			wg.Wait()
+			if panicErr != nil {
+				return sweeps, totalMoves, panicErr
+			}
 		}
 		fbcWall := time.Since(fbcStart)
 		bd.Add(trace.KernelFindBestCommunity, fbcWall)
@@ -335,7 +372,21 @@ func optimizeLevel(st *mapeq.State, flow *mapeq.Flow, workers []*worker,
 		}
 		prevL = l
 	}
-	return sweeps, totalMoves
+	return sweeps, totalMoves, nil
+}
+
+// safeEvaluateRange runs one worker's share of a FindBestCommunity sweep,
+// converting any panic (a bug in an accumulator backend, an out-of-range
+// module ID) into an error so one bad worker cannot take down the caller's
+// process.
+func safeEvaluateRange(w *worker, st *mapeq.State, flow *mapeq.Flow, order []uint32, lo, hi int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("infomap: worker %d panicked: %v", w.id, p)
+		}
+	}()
+	w.evaluateRange(st, flow, order, lo, hi)
+	return nil
 }
 
 // liveTotals sums the cumulative accumulator stats and kernel work over all

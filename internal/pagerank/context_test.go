@@ -1,0 +1,46 @@
+package pagerank
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/asamap/asamap/internal/graph"
+)
+
+func directedRing(n int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	for v := 0; v < n; v++ {
+		_ = b.AddEdge(uint32(v), uint32((v+1)%n), 1)
+	}
+	return b.Build()
+}
+
+func TestComputeContextCanceled(t *testing.T) {
+	g := directedRing(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeContext(ctx, g, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestComputeContextBackgroundMatchesCompute(t *testing.T) {
+	g := directedRing(100)
+	a, err := Compute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeContext(context.Background(), g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != b.Iterations || len(a.Rank) != len(b.Rank) {
+		t.Fatalf("Compute and ComputeContext diverge: %d/%d iterations", a.Iterations, b.Iterations)
+	}
+	for i := range a.Rank {
+		if a.Rank[i] != b.Rank[i] {
+			t.Fatalf("rank %d differs: %g vs %g", i, a.Rank[i], b.Rank[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package pagerank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -75,6 +76,16 @@ func Undirected(g *graph.Graph) *Result {
 // undirected graphs it short-circuits to the closed form. The returned ranks
 // always sum to 1 (within floating-point error).
 func Compute(g *graph.Graph, cfg Config) (*Result, error) {
+	return ComputeContext(context.Background(), g, cfg)
+}
+
+// ComputeContext is Compute under a context: cancellation is observed before
+// every power iteration, returning ctx.Err() promptly. The worker goroutines
+// of an iteration always run to completion first, so none leak.
+func ComputeContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Damping <= 0 || cfg.Damping >= 1 {
 		return nil, fmt.Errorf("pagerank: damping %g out of (0,1)", cfg.Damping)
 	}
@@ -106,6 +117,9 @@ func Compute(g *graph.Graph, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Mass from dangling vertices is spread uniformly.
 		danglingMass := 0.0
 		for u := 0; u < n; u++ {
