@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for generators and runs")
 	scale := flag.Int("scale", 0, "override the replica scale divisor (0 = per-network default)")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for multi-core experiments")
+	jsonPath := flag.String("json", "", "write a machine-readable JSON artifact here (experiments that support it, e.g. 'sched')")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +43,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.ScaleOverride = *scale
+	cfg.JSONPath = *jsonPath
 	if *workers != "" {
 		var ws []int
 		for _, f := range strings.Split(*workers, ",") {

@@ -38,7 +38,8 @@ func main() {
 	directed := flag.Bool("directed", false, "treat edges as directed arcs")
 	accumKind := flag.String("accum", "baseline", "accumulator backend: baseline | asa | gomap")
 	camKB := flag.Int("cam-kb", 8, "CAM size in KB for the asa backend")
-	workers := flag.Int("workers", 1, "parallel workers")
+	workers := flag.Int("workers", 1, "parallel workers (0 = all CPUs)")
+	schedPolicy := flag.String("sched", "steal", "sweep scheduling policy: steal | static")
 	seed := flag.Uint64("seed", 1, "seed for the visitation order")
 	stats := flag.Bool("stats", false, "print kernel breakdown and modeled hardware counters")
 	hierarchical := flag.Bool("hierarchical", false, "detect a multi-level hierarchy (hierarchical map equation)")
@@ -77,6 +78,14 @@ func main() {
 	opt := infomap.DefaultOptions()
 	opt.Workers = *workers
 	opt.Seed = *seed
+	switch *schedPolicy {
+	case "steal":
+		opt.Sched = infomap.SchedSteal
+	case "static":
+		opt.Sched = infomap.SchedStatic
+	default:
+		fatal(fmt.Errorf("unknown -sched %q", *schedPolicy))
+	}
 	switch *teleport {
 	case "recorded":
 		opt.Teleport = infomap.TeleportRecorded
@@ -165,6 +174,8 @@ func main() {
 
 	if *stats {
 		fmt.Printf("\nkernel breakdown:\n%s", res.Breakdown)
+		fmt.Printf("scheduler: policy=%s steals=%d mean-imbalance=%.3f\n",
+			opt.Sched, res.Steals, res.MeanImbalance())
 		machine := perf.Baseline()
 		model := perf.DefaultModel(machine)
 		name := "softhash"

@@ -27,6 +27,9 @@ type Config struct {
 	ScaleOverride int
 	// Workers is the core-count sweep for multi-core experiments.
 	Workers []int
+	// JSONPath, when non-empty, is where experiments that emit a
+	// machine-readable artifact (currently "sched") write their JSON.
+	JSONPath string
 }
 
 // DefaultConfig returns the full-size configuration.
@@ -80,6 +83,7 @@ var Experiments = []Experiment{
 	{"hierarchy", "X5: hierarchical map equation vs two-level", runHierarchy},
 	{"cachesim", "X6: trace-driven cache simulation of hash probes", runCacheSim},
 	{"distributed", "X7: distributed-memory (hybrid) simulation, rank sweep", runDistributed},
+	{"sched", "X8: sweep scheduling — static vs work stealing", runSched},
 }
 
 // ByID returns the experiment with the given ID.

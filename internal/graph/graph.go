@@ -299,6 +299,19 @@ func (b *Builder) AddEdge(u, v uint32, w float64) error {
 // undirected mirroring).
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 
+// Reserve pre-allocates capacity for at least n additional arcs (after
+// undirected mirroring), so that a caller that knows the exact arc count —
+// e.g. the contraction kernels after their boundary-arc counting pass — can
+// add edges without growth reallocations.
+func (b *Builder) Reserve(n int) {
+	if free := cap(b.edges) - len(b.edges); free >= n {
+		return
+	}
+	edges := make([]Edge, len(b.edges), len(b.edges)+n)
+	copy(edges, b.edges)
+	b.edges = edges
+}
+
 // Build sorts, merges, and freezes the accumulated edges into a Graph.
 // The Builder may be reused after Build.
 func (b *Builder) Build() *Graph {

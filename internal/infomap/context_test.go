@@ -13,6 +13,7 @@ import (
 	"github.com/asamap/asamap/internal/graph"
 	"github.com/asamap/asamap/internal/mapeq"
 	"github.com/asamap/asamap/internal/rng"
+	"github.com/asamap/asamap/internal/sched"
 	"github.com/asamap/asamap/internal/trace"
 )
 
@@ -128,8 +129,10 @@ func TestWorkerPanicBecomesError(t *testing.T) {
 		for i := range workers {
 			workers[i] = &worker{id: i, out: panicAccum{}, in: panicAccum{}}
 		}
-		_, _, err := optimizeLevel(context.Background(), st, flow, workers,
+		pool := sched.NewPool(nWorkers)
+		_, _, err := optimizeLevel(context.Background(), st, flow, workers, pool,
 			DefaultOptions(), newRand(1), trace.NewBreakdown(), 0, &Result{})
+		pool.Close()
 		if err == nil {
 			t.Fatalf("workers=%d: injected panic not surfaced", nWorkers)
 		}

@@ -1,0 +1,118 @@
+package infomap
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// lfrPair builds an undirected LFR benchmark graph and a directed variant of
+// it (both arcs of every edge, so PageRank and the directed code paths run
+// on a graph with real community structure).
+func lfrPair(t *testing.T) (und, dir *graph.Graph) {
+	t.Helper()
+	g, _, err := gen.LFR(gen.DefaultLFR(600, 0.25), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(g.N(), true)
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue // undirected Edges lists both orientations; keep one
+		}
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+		if e.From != e.To {
+			if err := b.AddEdge(e.To, e.From, e.Weight); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g, b.Build()
+}
+
+// TestDeterministicAcrossWorkers is the scheduler's central correctness
+// claim: for a fixed seed, the result — membership and the exact codelength
+// bits — must not depend on the worker count, the scheduling policy, or the
+// (nondeterministic) steal schedule. One worker with static chunking is the
+// reference; every other configuration, and a repeat run of each, must
+// reproduce it bit for bit.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	und, dir := lfrPair(t)
+	for _, kind := range []AccumKind{Baseline, ASA} {
+		for _, tc := range []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"undirected", und},
+			{"directed", dir},
+		} {
+			t.Run(fmt.Sprintf("%v/%s", kind, tc.name), func(t *testing.T) {
+				opt := DefaultOptions()
+				opt.Kind = kind
+				opt.Workers = 1
+				opt.Sched = SchedStatic
+				ref, err := Run(tc.g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, policy := range []SchedPolicy{SchedSteal, SchedStatic} {
+						for rep := 0; rep < 2; rep++ {
+							opt := DefaultOptions()
+							opt.Kind = kind
+							opt.Workers = workers
+							opt.Sched = policy
+							res, err := Run(tc.g, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							label := fmt.Sprintf("workers=%d sched=%v rep=%d", workers, policy, rep)
+							if math.Float64bits(res.Codelength) != math.Float64bits(ref.Codelength) {
+								t.Fatalf("%s: codelength %.17g != reference %.17g",
+									label, res.Codelength, ref.Codelength)
+							}
+							for v := range res.Membership {
+								if res.Membership[v] != ref.Membership[v] {
+									t.Fatalf("%s: membership diverges at vertex %d: %d != %d",
+										label, v, res.Membership[v], ref.Membership[v])
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicRepeatedRuns re-runs the same configuration several times
+// at a multi-worker setting where steal schedules genuinely vary.
+func TestDeterministicRepeatedRuns(t *testing.T) {
+	und, _ := lfrPair(t)
+	opt := DefaultOptions()
+	opt.Workers = 4
+	first, err := Run(und, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		res, err := Run(und, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.Codelength) != math.Float64bits(first.Codelength) {
+			t.Fatalf("rep %d: codelength drifted: %.17g != %.17g", rep, res.Codelength, first.Codelength)
+		}
+		for v := range res.Membership {
+			if res.Membership[v] != first.Membership[v] {
+				t.Fatalf("rep %d: membership diverges at vertex %d", rep, v)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package infomap
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"github.com/asamap/asamap/internal/graph"
@@ -78,6 +79,9 @@ func RunHierarchical(g *graph.Graph, opt Options) (*HierResult, error) {
 // RunHierarchicalContext is RunHierarchical under a context; the flat run
 // and PageRank observe cancellation at their usual boundaries.
 func RunHierarchicalContext(ctx context.Context, g *graph.Graph, opt Options) (*HierResult, error) {
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
 	flat, err := RunContext(ctx, g, opt)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,7 @@ package infomap
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"github.com/asamap/asamap/internal/accum"
@@ -12,6 +12,7 @@ import (
 	"github.com/asamap/asamap/internal/pagerank"
 	"github.com/asamap/asamap/internal/perf"
 	"github.com/asamap/asamap/internal/rng"
+	"github.com/asamap/asamap/internal/sched"
 	"github.com/asamap/asamap/internal/trace"
 )
 
@@ -39,6 +40,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -82,6 +86,8 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 		}
 		workers[i] = w
 	}
+	pool := sched.NewPool(opt.Workers)
+	defer pool.Close()
 
 	res := &Result{
 		Breakdown:  bd,
@@ -139,7 +145,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 			st.OverrideNodeTerm(leafNodeTerm)
 			res.Levels++
 
-			sweeps, moves, err := optimizeLevel(ctx, st, flow, workers, opt, r, bd, level, res)
+			sweeps, moves, err := optimizeLevel(ctx, st, flow, workers, pool, opt, r, bd, level, res)
 			res.Sweeps += sweeps
 			res.Moves += moves
 			if err != nil {
@@ -162,7 +168,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 				bd.Add(trace.KernelConvert2SuperNode, time.Since(csStart))
 				break
 			}
-			flow, err = flow.Contract(membership, k)
+			flow, err = flow.ContractParallel(membership, k, pool)
 			if err != nil {
 				return nil, err
 			}
@@ -225,6 +231,39 @@ func collectWorkerStats(workers []*worker) []WorkerStats {
 	return out
 }
 
+// sweepBlocksPerWorker oversubscribes steal-mode sweeps: more blocks than
+// workers gives the stealing tail something to rebalance with. Eight per
+// worker keeps per-block dispatch overhead negligible against typical
+// block work while bounding the worst-case tail at ~1/8 of a worker's span.
+const sweepBlocksPerWorker = 8
+
+// sweepMinBlockVertices stops oversubscription from shattering small levels
+// into blocks too tiny to amortize the dispatch atomics.
+const sweepMinBlockVertices = 32
+
+// sweepBounds partitions the order[0:m] of a sweep into schedulable blocks.
+// Static policy (or one worker) reproduces the pre-scheduler baseline: one
+// equal-vertex-count chunk per worker. Steal policy cuts degree-aware blocks
+// — block boundaries follow the prefix sum of adjacency sizes, so a block
+// holding one huge hub stays small in vertex count and a block of leaves
+// stays large, equalizing per-block work up front.
+func sweepBounds(flow *mapeq.Flow, order []uint32, workers int, policy SchedPolicy) ([]int, sched.Mode) {
+	m := len(order)
+	if policy == SchedStatic || workers == 1 {
+		return sched.UniformBounds(m, workers), sched.Static
+	}
+	blocks := workers * sweepBlocksPerWorker
+	if maxBlocks := (m + sweepMinBlockVertices - 1) / sweepMinBlockVertices; blocks > maxBlocks {
+		blocks = maxBlocks
+	}
+	g := flow.G
+	bounds := sched.WeightedBounds(m, blocks, func(i int) int64 {
+		v := int(order[i])
+		return int64(g.OutDegree(v)+g.InDegree(v)) + 1
+	})
+	return bounds, sched.Steal
+}
+
 // optimizeLevel runs FindBestCommunity sweeps on one level until the
 // codelength stops improving. Each sweep evaluates all vertices in parallel
 // against a frozen state snapshot (read-only), then commits the improving
@@ -234,7 +273,7 @@ func collectWorkerStats(workers []*worker) []WorkerStats {
 // error after all workers of the sweep have finished (so no goroutine
 // outlives the call).
 func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, workers []*worker,
-	opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64, err error) {
+	pool *sched.Pool, opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64, err error) {
 
 	n := flow.G.N()
 	// Active-vertex optimization (as in RelaxMap/HyPC-Map): only vertices
@@ -246,6 +285,13 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		active[i] = true
 	}
 	order := make([]uint32, 0, n)
+	// Per-block proposal buffers, reused across sweeps. Proposals are kept
+	// per block rather than per worker so that concatenating the buffers in
+	// block index order yields exactly the shuffled visitation order — the
+	// commit sequence is then independent of which worker ran (or stole)
+	// which block, which is what makes results bit-identical across worker
+	// counts and steal schedules.
+	var props [][]proposal
 
 	prevL := st.Codelength()
 	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
@@ -266,47 +312,24 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 
 		// --- Kernel 2: FindBestCommunity (parallel, read-only). ---
 		fbcStart := time.Now()
-		for _, w := range workers {
-			w.proposals = w.proposals[:0]
+		bounds, mode := sweepBounds(flow, order, len(workers), opt.Sched)
+		nblocks := len(bounds) - 1
+		for len(props) < nblocks {
+			props = append(props, nil)
 		}
-		m := len(order)
-		if len(workers) == 1 {
-			if err := safeEvaluateRange(workers[0], st, flow, order, 0, m); err != nil {
-				return sweeps, totalMoves, err
-			}
-		} else {
-			var wg sync.WaitGroup
-			var panicMu sync.Mutex
-			var panicErr error
-			chunk := (m + len(workers) - 1) / len(workers)
-			for i, w := range workers {
-				lo := i * chunk
-				hi := lo + chunk
-				if hi > m {
-					hi = m
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(w *worker, lo, hi int) {
-					defer wg.Done()
-					if err := safeEvaluateRange(w, st, flow, order, lo, hi); err != nil {
-						panicMu.Lock()
-						if panicErr == nil {
-							panicErr = err
-						}
-						panicMu.Unlock()
-					}
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			if panicErr != nil {
-				return sweeps, totalMoves, panicErr
-			}
+		ds, err := pool.Dispatch(bounds, mode, func(wid, blk, lo, hi int) error {
+			var perr error
+			props[blk], perr = safeEvaluateBlock(workers[wid], st, flow, order, lo, hi, props[blk][:0])
+			return perr
+		})
+		if err != nil {
+			return sweeps, totalMoves, err
 		}
 		fbcWall := time.Since(fbcStart)
 		bd.Add(trace.KernelFindBestCommunity, fbcWall)
+		bd.Observe(trace.GaugeSweepImbalance, ds.Imbalance)
+		bd.Observe(trace.GaugeSweepSteals, float64(ds.Steals))
+		res.Steals += ds.Steals
 
 		// --- Kernel 4: UpdateMembers (serial commit with re-check). ---
 		umStart := time.Now()
@@ -314,8 +337,11 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 			active[i] = false
 		}
 		moves := uint64(0)
-		for _, w := range workers {
-			for _, p := range w.proposals {
+		// Blocks partition the shuffled order, so walking them in index
+		// order commits proposals in exactly the order a serial sweep
+		// would have visited the vertices.
+		for blk := 0; blk < nblocks; blk++ {
+			for _, p := range props[blk] {
 				v := int(p.node)
 				old := st.Module(v)
 				if old == p.target {
@@ -333,7 +359,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 				view := flow.View(v)
 				if d := st.DeltaMove(view, p.target, oo, io, on, in); d < 0 {
 					st.Apply(view, p.target, oo, io, on, in)
-					w.stats.Work.MovesApplied++
+					workers[p.wid].stats.Work.MovesApplied++
 					moves++
 					// The moved vertex and its neighborhood become active.
 					active[v] = true
@@ -360,6 +386,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 			WallCommit: commitWall,
 			Stats:      postStats.Sub(preStats),
 			Work:       postWork.Sub(preWork),
+			Sched:      ds,
 			Codelength: st.Codelength(),
 			Moves:      moves,
 		})
@@ -375,18 +402,17 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 	return sweeps, totalMoves, nil
 }
 
-// safeEvaluateRange runs one worker's share of a FindBestCommunity sweep,
-// converting any panic (a bug in an accumulator backend, an out-of-range
-// module ID) into an error so one bad worker cannot take down the caller's
-// process.
-func safeEvaluateRange(w *worker, st *mapeq.State, flow *mapeq.Flow, order []uint32, lo, hi int) (err error) {
+// safeEvaluateBlock runs one block of a FindBestCommunity sweep, converting
+// any panic (a bug in an accumulator backend, an out-of-range module ID)
+// into an error so one bad worker cannot take down the caller's process.
+func safeEvaluateBlock(w *worker, st *mapeq.State, flow *mapeq.Flow, order []uint32, lo, hi int, dst []proposal) (out []proposal, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			out = dst
 			err = fmt.Errorf("infomap: worker %d panicked: %v", w.id, p)
 		}
 	}()
-	w.evaluateRange(st, flow, order, lo, hi)
-	return nil
+	return w.evaluateBlock(st, flow, order, lo, hi, dst), nil
 }
 
 // liveTotals sums the cumulative accumulator stats and kernel work over all

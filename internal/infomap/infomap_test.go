@@ -269,13 +269,14 @@ func TestEdgeCases(t *testing.T) {
 func TestOptionsValidation(t *testing.T) {
 	g := twoTriangles(t)
 	cases := []func(*Options){
-		func(o *Options) { o.Workers = 0 },
+		func(o *Options) { o.Workers = -1 },
 		func(o *Options) { o.MaxSweeps = 0 },
 		func(o *Options) { o.MaxLevels = 0 },
 		func(o *Options) { o.Damping = 0 },
 		func(o *Options) { o.Damping = 1 },
 		func(o *Options) { o.MinImprovement = -1 },
 		func(o *Options) { o.Kind = AccumKind(99) },
+		func(o *Options) { o.Sched = SchedPolicy(99) },
 	}
 	for i, mutate := range cases {
 		opt := DefaultOptions()
@@ -283,6 +284,12 @@ func TestOptionsValidation(t *testing.T) {
 		if _, err := Run(g, opt); err == nil {
 			t.Fatalf("case %d: invalid options accepted", i)
 		}
+	}
+	// Workers == 0 is valid: it means all CPUs.
+	opt := DefaultOptions()
+	opt.Workers = 0
+	if _, err := Run(g, opt); err != nil {
+		t.Fatalf("Workers=0 rejected: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package infomap
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/asamap/asamap/internal/accum"
@@ -9,10 +10,13 @@ import (
 
 // proposal is one vertex's best move found during a parallel evaluation
 // sweep. The commit phase recomputes the move's flows against the current
-// membership before applying, so only the target survives evaluation.
+// membership before applying, so only the target survives evaluation; wid
+// records which worker evaluated the vertex so applied moves are attributed
+// to the right WorkerStats even under work stealing.
 type proposal struct {
 	node   uint32
 	target uint32
+	wid    int32
 	delta  float64
 }
 
@@ -24,7 +28,6 @@ type worker struct {
 	out, in      accum.Accumulator
 	outBuf       []accum.KV
 	inBuf        []accum.KV
-	proposals    []proposal
 	stats        WorkerStats
 	mergedGather bool // ASA-style candidate iteration (Algorithm 2)
 }
@@ -54,18 +57,25 @@ func (w *worker) snapshotStats() {
 	w.stats.Accum.Add(w.in.Stats())
 }
 
-// evaluateRange runs FindBestCommunity for the vertices order[lo:hi] against
-// a frozen State snapshot, appending improving moves to w.proposals.
-func (w *worker) evaluateRange(st *mapeq.State, f *mapeq.Flow, order []uint32, lo, hi int) {
+// evaluateBlock runs FindBestCommunity for the vertices order[lo:hi] against
+// a frozen State snapshot, appending improving moves to dst in order[] order.
+// Keeping proposals per block (not per worker) makes the commit sequence a
+// pure function of the shuffled order: concatenating block buffers in block
+// index order recovers exactly the serial visitation sequence, no matter
+// which worker ran — or stole — which block.
+func (w *worker) evaluateBlock(st *mapeq.State, f *mapeq.Flow, order []uint32, lo, hi int, dst []proposal) []proposal {
 	for i := lo; i < hi; i++ {
-		w.findBestCommunity(st, f, int(order[i]))
+		if p, ok := w.findBestCommunity(st, f, int(order[i])); ok {
+			dst = append(dst, p)
+		}
 	}
+	return dst
 }
 
 // findBestCommunity is Algorithm 1 (Baseline) / Algorithm 2 (ASA) of the
 // paper: accumulate per-module outgoing and incoming flow over the vertex's
 // adjacency, then pick the module whose ΔL is most negative.
-func (w *worker) findBestCommunity(st *mapeq.State, f *mapeq.Flow, v int) {
+func (w *worker) findBestCommunity(st *mapeq.State, f *mapeq.Flow, v int) (proposal, bool) {
 	g := f.G
 	w.stats.Work.VerticesProcessed++
 	old := st.Module(v)
@@ -100,25 +110,36 @@ func (w *worker) findBestCommunity(st *mapeq.State, f *mapeq.Flow, v int) {
 	}
 	if links == 0 {
 		// Isolated vertex (or only self-loops): no neighbor module to join.
-		return
+		return proposal{}, false
 	}
 
 	view := f.View(v)
 	if w.mergedGather {
-		w.candidatesMerged(st, view, old)
-	} else {
-		w.candidatesLookup(st, view, old)
+		return w.candidatesMerged(st, view, old)
 	}
+	return w.candidatesLookup(st, view, old)
+}
+
+// better reports whether candidate module m with ΔL d improves on best. The
+// ΔL tie-break on the smaller module ID matters for determinism: the hash
+// table's Gather order depends on its capacity history, which varies with
+// which worker's table processed the vertex, so exact-ΔL ties would
+// otherwise resolve differently across worker counts and steal schedules.
+func better(best proposal, m uint32, d float64, old uint32) bool {
+	if d < best.delta {
+		return true
+	}
+	return d == best.delta && best.target != old && m < best.target
 }
 
 // candidatesLookup is the Baseline candidate scan (Alg. 1 lines 15–25):
 // iterate the out-flow hash table and point-look-up the in-flow table.
-func (w *worker) candidatesLookup(st *mapeq.State, view mapeq.NodeView, old uint32) {
+func (w *worker) candidatesLookup(st *mapeq.State, view mapeq.NodeView, old uint32) (proposal, bool) {
 	w.outBuf = w.out.Gather(w.outBuf[:0])
 	outOld, _ := w.out.Lookup(old)
 	inOld, _ := w.in.Lookup(old)
 
-	best := proposal{node: uint32(view.Node), target: old}
+	best := proposal{node: uint32(view.Node), target: old, wid: int32(w.id)}
 	for _, kv := range w.outBuf {
 		if kv.Key == old {
 			continue
@@ -126,8 +147,8 @@ func (w *worker) candidatesLookup(st *mapeq.State, view mapeq.NodeView, old uint
 		inFlow, _ := w.in.Lookup(kv.Key)
 		w.stats.Work.CandidatesEvaluated++
 		d := st.DeltaMove(view, kv.Key, outOld, inOld, kv.Value, inFlow)
-		if d < best.delta {
-			best = proposal{node: uint32(view.Node), target: kv.Key, delta: d}
+		if better(best, kv.Key, d, old) {
+			best = proposal{node: uint32(view.Node), target: kv.Key, wid: int32(w.id), delta: d}
 		}
 	}
 	// Directed graphs can have candidate modules reachable only via
@@ -142,19 +163,17 @@ func (w *worker) candidatesLookup(st *mapeq.State, view mapeq.NodeView, old uint
 		}
 		w.stats.Work.CandidatesEvaluated++
 		d := st.DeltaMove(view, kv.Key, outOld, inOld, 0, kv.Value)
-		if d < best.delta {
-			best = proposal{node: uint32(view.Node), target: kv.Key, delta: d}
+		if better(best, kv.Key, d, old) {
+			best = proposal{node: uint32(view.Node), target: kv.Key, wid: int32(w.id), delta: d}
 		}
 	}
-	if best.target != old && best.delta < 0 {
-		w.proposals = append(w.proposals, best)
-	}
+	return best, best.target != old && best.delta < 0
 }
 
 // candidatesMerged is the ASA candidate scan (Alg. 2 lines 9–14): gather both
 // CAMs (with sort_and_merge on overflow), sort the pair vectors, and walk
 // them with a two-pointer merge.
-func (w *worker) candidatesMerged(st *mapeq.State, view mapeq.NodeView, old uint32) {
+func (w *worker) candidatesMerged(st *mapeq.State, view mapeq.NodeView, old uint32) (proposal, bool) {
 	w.outBuf = w.out.Gather(w.outBuf[:0])
 	w.inBuf = w.in.Gather(w.inBuf[:0])
 	sortKV(w.outBuf)
@@ -168,7 +187,7 @@ func (w *worker) candidatesMerged(st *mapeq.State, view mapeq.NodeView, old uint
 		inOld = w.inBuf[i].Value
 	}
 
-	best := proposal{node: uint32(view.Node), target: old}
+	best := proposal{node: uint32(view.Node), target: old, wid: int32(w.id)}
 	i, j := 0, 0
 	for i < len(w.outBuf) || j < len(w.inBuf) {
 		var m uint32
@@ -190,19 +209,35 @@ func (w *worker) candidatesMerged(st *mapeq.State, view mapeq.NodeView, old uint
 		}
 		w.stats.Work.CandidatesEvaluated++
 		d := st.DeltaMove(view, m, outOld, inOld, of, nf)
-		if d < best.delta {
-			best = proposal{node: uint32(view.Node), target: m, delta: d}
+		if better(best, m, d, old) {
+			best = proposal{node: uint32(view.Node), target: m, wid: int32(w.id), delta: d}
 		}
 	}
-	if best.target != old && best.delta < 0 {
-		w.proposals = append(w.proposals, best)
-	}
+	return best, best.target != old && best.delta < 0
 }
 
-// sortKV sorts small pair vectors by key with an allocation-free insertion
-// sort: candidate lists are degree-bounded and usually tiny, and sort.Slice's
-// per-call closure allocation would dominate the ASA path's profile.
+// sortKVThreshold is the length above which sortKV switches from insertion
+// sort to slices.SortFunc. Candidate lists are degree-bounded: most are tiny
+// (insertion sort wins, no comparator indirection), but a hub of degree d
+// would cost O(d²) — ruinous at d ~ 10⁴ — so larger lists take the O(d log d)
+// path. slices.SortFunc (unlike sort.Slice) is allocation-free here.
+const sortKVThreshold = 32
+
+// sortKV sorts pair vectors by key: insertion sort below sortKVThreshold,
+// slices.SortFunc above.
 func sortKV(kvs []accum.KV) {
+	if len(kvs) > sortKVThreshold {
+		slices.SortFunc(kvs, func(a, b accum.KV) int {
+			switch {
+			case a.Key < b.Key:
+				return -1
+			case a.Key > b.Key:
+				return 1
+			}
+			return 0
+		})
+		return
+	}
 	for i := 1; i < len(kvs); i++ {
 		kv := kvs[i]
 		j := i - 1

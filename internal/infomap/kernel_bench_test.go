@@ -1,0 +1,48 @@
+package infomap
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/asamap/asamap/internal/accum"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// BenchmarkSortKVHub covers sortKV from the tiny candidate lists of ordinary
+// vertices up to degree-10⁴ hubs, where the former pure insertion sort went
+// quadratic (the O(d²) satellite fix of the scheduler PR).
+func BenchmarkSortKVHub(b *testing.B) {
+	for _, n := range []int{8, 64, 1024, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(uint64(n))
+			src := make([]accum.KV, n)
+			for i := range src {
+				src[i] = accum.KV{Key: r.Uint32(), Value: 1}
+			}
+			buf := make([]accum.KV, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				sortKV(buf)
+			}
+		})
+	}
+}
+
+// TestSortKVAboveThreshold pins that the SortFunc path sorts correctly and
+// agrees with the insertion-sort path.
+func TestSortKVAboveThreshold(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{0, 1, sortKVThreshold, sortKVThreshold + 1, 500} {
+		kvs := make([]accum.KV, n)
+		for i := range kvs {
+			kvs[i] = accum.KV{Key: r.Uint32() % 64, Value: float64(i)}
+		}
+		sortKV(kvs)
+		for i := 1; i < len(kvs); i++ {
+			if kvs[i-1].Key > kvs[i].Key {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+	}
+}

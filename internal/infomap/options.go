@@ -14,6 +14,7 @@ import (
 	"github.com/asamap/asamap/internal/asa"
 	"github.com/asamap/asamap/internal/hashtab"
 	"github.com/asamap/asamap/internal/perf"
+	"github.com/asamap/asamap/internal/sched"
 	"github.com/asamap/asamap/internal/trace"
 )
 
@@ -66,6 +67,26 @@ func (k AccumKind) String() string {
 	return fmt.Sprintf("AccumKind(%d)", int(k))
 }
 
+// SchedPolicy selects how sweep blocks are scheduled onto workers.
+type SchedPolicy int
+
+const (
+	// SchedSteal (the default) partitions each sweep into degree-aware
+	// blocks and lets idle workers steal blocks from stragglers' spans.
+	SchedSteal SchedPolicy = iota
+	// SchedStatic gives each worker one contiguous equal-vertex-count chunk
+	// — the pre-scheduler baseline, kept measurable for comparison.
+	SchedStatic
+)
+
+// String names the scheduling policy.
+func (s SchedPolicy) String() string {
+	if s == SchedStatic {
+		return "static"
+	}
+	return "steal"
+}
+
 // Options configures a run. The zero value is not valid; start from
 // DefaultOptions.
 type Options struct {
@@ -75,8 +96,13 @@ type Options struct {
 	ASAConfig asa.Config
 	// Workers is the number of parallel workers ("cores"); each gets its own
 	// pair of core-local accumulators, mirroring the tid parameter of the
-	// paper's ASA interface.
+	// paper's ASA interface. Zero means runtime.GOMAXPROCS(0) — all CPUs
+	// available to the process; negative values are invalid. For a fixed
+	// Seed the result is bit-identical across any Workers value.
 	Workers int
+	// Sched selects the sweep scheduling policy; see SchedPolicy. The zero
+	// value is SchedSteal.
+	Sched SchedPolicy
 	// MaxSweeps bounds the vertex-level optimization sweeps per level.
 	MaxSweeps int
 	// MinImprovement is the codelength gain (bits) below which a level's
@@ -116,8 +142,13 @@ func DefaultOptions() Options {
 }
 
 func (o Options) validate() error {
-	if o.Workers < 1 {
-		return fmt.Errorf("infomap: Workers %d < 1", o.Workers)
+	if o.Workers < 0 {
+		return fmt.Errorf("infomap: Workers %d < 0 (0 means all CPUs)", o.Workers)
+	}
+	switch o.Sched {
+	case SchedSteal, SchedStatic:
+	default:
+		return fmt.Errorf("infomap: unknown scheduling policy %d", int(o.Sched))
 	}
 	if o.MaxSweeps < 1 {
 		return fmt.Errorf("infomap: MaxSweeps %d < 1", o.MaxSweeps)
@@ -173,8 +204,9 @@ type SweepStat struct {
 	WallCommit time.Duration // serial UpdateMembers commit time
 	Stats      accum.Stats   // accumulator events during this sweep
 	Work       perf.KernelWork
-	Codelength float64 // L(M) after the sweep
-	Moves      uint64  // moves committed in the sweep
+	Sched      sched.Stats // scheduler dispatch stats (busy, steals, imbalance)
+	Codelength float64     // L(M) after the sweep
+	Moves      uint64      // moves committed in the sweep
 }
 
 // Result is the outcome of a Run.
@@ -200,6 +232,9 @@ type Result struct {
 	PerWorker []WorkerStats
 	// SweepLog records every optimization sweep in execution order.
 	SweepLog []SweepStat
+	// Steals is the total number of blocks executed by a worker other than
+	// the owner of their span, summed over all sweeps.
+	Steals uint64
 	// Elapsed is the total wall time of the run.
 	Elapsed time.Duration
 }
@@ -211,6 +246,23 @@ func (r *Result) TotalStats() accum.Stats {
 		s.Add(w.Accum)
 	}
 	return s
+}
+
+// MeanImbalance returns the busy-time-weighted mean of the per-sweep worker
+// imbalance ratio (max busy / mean busy; 1.0 is perfect balance). Weighting
+// by sweep busy time keeps the many near-empty convergence-tail sweeps from
+// drowning out the expensive early ones.
+func (r *Result) MeanImbalance() float64 {
+	var num, den float64
+	for _, s := range r.SweepLog {
+		w := float64(s.Sched.BusyTotal())
+		num += s.Sched.Imbalance * w
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // TotalWork sums the kernel work over all workers.

@@ -1,0 +1,35 @@
+package infomap
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// BenchmarkSchedSweep runs the full optimizer on a power-law (R-MAT) graph
+// under both scheduling policies — the end-to-end number behind the
+// static-vs-steal comparison in BENCH_sched.json.
+func BenchmarkSchedSweep(b *testing.B) {
+	g, err := gen.RMAT(13, 8, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, policy := range []SchedPolicy{SchedStatic, SchedSteal} {
+			b.Run(fmt.Sprintf("workers=%d/%v", workers, policy), func(b *testing.B) {
+				opt := DefaultOptions()
+				opt.Workers = workers
+				opt.Sched = policy
+				opt.OuterIters = 1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(g, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/sched"
 )
 
 // Plogp returns x*log2(x) with the continuous extension Plogp(0) = 0.
@@ -174,44 +175,165 @@ func newFlowShell(g *graph.Graph) *Flow {
 // and landing shares sum over members. The resulting level is always
 // represented as a directed flow graph, which is exact for both input kinds
 // because the map equation consumes only per-arc flows.
+//
+// Contract runs serially; ContractParallel is the same kernel over a worker
+// pool and produces a bit-identical Flow.
 func (f *Flow) Contract(membership []uint32, numModules int) (*Flow, error) {
+	return f.ContractParallel(membership, numModules, nil)
+}
+
+// contractBlocksPerWorker oversubscribes the contraction dispatches so that
+// the work-stealing tail can even out degree skew between blocks.
+const contractBlocksPerWorker = 4
+
+// ContractParallel is Contract over a sched.Pool (nil or one worker = run
+// inline). The kernel is organized so that the result is bit-identical to
+// the serial Contract regardless of worker count or steal schedule:
+//
+//   - Boundary arcs are counted per degree-aware vertex block (exact
+//     pre-sizing — no builder growth or rehash churn during contraction),
+//     then written into a pre-sized arc array at per-block offsets from a
+//     prefix sum. Block concatenation order equals CSR order, so the
+//     builder always sees the identical arc sequence and merges duplicate
+//     super-arcs in the identical float order.
+//   - Per-module member sums (node flow, teleportation, landing mass) are
+//     aggregated per worker over disjoint module ranges, each module summing
+//     its members in global vertex order — the same addition order as the
+//     serial loop, for any worker count.
+func (f *Flow) ContractParallel(membership []uint32, numModules int, pool *sched.Pool) (*Flow, error) {
 	g := f.G
-	if len(membership) != g.N() {
-		return nil, fmt.Errorf("mapeq: membership length %d, want %d", len(membership), g.N())
+	n := g.N()
+	if len(membership) != n {
+		return nil, fmt.Errorf("mapeq: membership length %d, want %d", len(membership), n)
 	}
+	for u, m := range membership {
+		if int(m) >= numModules {
+			return nil, fmt.Errorf("mapeq: vertex %d module %d out of range", u, m)
+		}
+	}
+	workers := 1
+	if pool != nil {
+		workers = pool.Workers()
+	}
+
+	// Degree-aware vertex blocks: each block carries ~equal arc work.
+	var bounds []int
+	if workers > 1 {
+		bounds = sched.WeightedBounds(n, workers*contractBlocksPerWorker,
+			func(u int) int64 { return int64(g.OutDegree(u)) + 1 })
+	} else {
+		bounds = []int{0, n}
+	}
+	nblocks := len(bounds) - 1
+
+	// Pass 1: count boundary arcs (positive flow, crossing modules) per block.
+	counts := make([]int, nblocks)
+	countBlock := func(_, blk, lo, hi int) error {
+		c := 0
+		for u := lo; u < hi; u++ {
+			mu := membership[u]
+			alo, _ := g.OutRange(u)
+			nb := g.OutNeighbors(u)
+			for i := range nb {
+				if f.OutFlow[alo+i] > 0 && membership[nb[i]] != mu {
+					c++
+				}
+			}
+		}
+		counts[blk] = c
+		return nil
+	}
+	if err := dispatch(pool, bounds, countBlock); err != nil {
+		return nil, err
+	}
+	offs := make([]int, nblocks+1)
+	for b := 0; b < nblocks; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+
+	// Pass 2: write boundary arcs at exact offsets, in CSR order per block.
+	arcs := make([]graph.Edge, offs[nblocks])
+	fillBlock := func(_, blk, lo, hi int) error {
+		pos := offs[blk]
+		for u := lo; u < hi; u++ {
+			mu := membership[u]
+			alo, _ := g.OutRange(u)
+			nb := g.OutNeighbors(u)
+			for i := range nb {
+				fl := f.OutFlow[alo+i]
+				if fl <= 0 {
+					continue
+				}
+				mv := membership[nb[i]]
+				if mv == mu {
+					continue
+				}
+				arcs[pos] = graph.Edge{From: mu, To: mv, Weight: fl}
+				pos++
+			}
+		}
+		return nil
+	}
+	if err := dispatch(pool, bounds, fillBlock); err != nil {
+		return nil, err
+	}
+
+	// Exact-count pre-sized builder: no growth or rehash churn.
 	b := graph.NewBuilder(numModules, true)
-	idx := 0
-	for u := 0; u < g.N(); u++ {
-		mu := membership[u]
-		nb := g.OutNeighbors(u)
-		for i := range nb {
-			fl := f.OutFlow[idx]
-			idx++
-			if fl <= 0 {
-				continue
-			}
-			mv := membership[nb[i]]
-			if mu == mv {
-				continue
-			}
-			if err := b.AddEdge(mu, mv, fl); err != nil {
-				return nil, err
-			}
+	b.Reserve(len(arcs))
+	for _, e := range arcs {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, err
 		}
 	}
 	sg := b.Build()
 	sf := newFlowShell(sg)
-	for u := 0; u < g.N(); u++ {
-		m := membership[u]
-		if int(m) >= numModules {
-			return nil, fmt.Errorf("mapeq: vertex %d module %d out of range", u, m)
-		}
-		sf.NodeFlow[m] += f.NodeFlow[u]
-		sf.TeleOut[m] += f.TeleOut[u]
-		sf.Land[m] += f.Land[u]
+
+	// Per-module member sums over disjoint module ranges. The member index
+	// lists each module's vertices in ascending vertex order, so every
+	// module's float sums accumulate in the serial loop's order no matter
+	// which worker owns the range.
+	memberOffs := make([]int, numModules+1)
+	for _, m := range membership {
+		memberOffs[m+1]++
 	}
+	for m := 0; m < numModules; m++ {
+		memberOffs[m+1] += memberOffs[m]
+	}
+	members := make([]int32, n)
+	cursor := make([]int, numModules)
+	copy(cursor, memberOffs[:numModules])
+	for u, m := range membership {
+		members[cursor[m]] = int32(u)
+		cursor[m]++
+	}
+	var mbounds []int
+	if workers > 1 {
+		mbounds = sched.WeightedBounds(numModules, workers*contractBlocksPerWorker,
+			func(m int) int64 { return int64(memberOffs[m+1] - memberOffs[m]) })
+	} else {
+		mbounds = []int{0, numModules}
+	}
+	sumBlock := func(_, _, lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			var nf, to, ld float64
+			for _, u := range members[memberOffs[m]:memberOffs[m+1]] {
+				nf += f.NodeFlow[u]
+				to += f.TeleOut[u]
+				ld += f.Land[u]
+			}
+			sf.NodeFlow[m] = nf
+			sf.TeleOut[m] = to
+			sf.Land[m] = ld
+		}
+		return nil
+	}
+	if err := dispatch(pool, mbounds, sumBlock); err != nil {
+		return nil, err
+	}
+
 	// Super-arc flows are the edge weights themselves.
-	idx = 0
+	idx := 0
 	for u := 0; u < sg.N(); u++ {
 		ws := sg.OutWeights(u)
 		for i := range ws {
@@ -230,6 +352,21 @@ func (f *Flow) Contract(membership []uint32, numModules int) (*Flow, error) {
 		}
 	}
 	return sf, nil
+}
+
+// dispatch runs fn over the blocks on the pool, or inline when no pool (or a
+// one-worker pool) is available.
+func dispatch(pool *sched.Pool, bounds []int, fn sched.BlockFunc) error {
+	if pool == nil || pool.Workers() == 1 {
+		for b := 0; b+1 < len(bounds); b++ {
+			if err := fn(0, b, bounds[b], bounds[b+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := pool.Dispatch(bounds, sched.Steal, fn)
+	return err
 }
 
 // NewDirectedFlowUnrecorded builds the "unrecorded teleportation" flow model

@@ -9,9 +9,9 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/sched"
 )
 
 // Config controls the power iteration.
@@ -115,6 +115,30 @@ func ComputeContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, e
 		outStrength[u] = g.OutStrength(u)
 	}
 
+	// Persistent worker pool with degree-aware blocks, reused across all
+	// power iterations (the old per-iteration goroutine spawn paid startup
+	// cost ~200 times per run). Each vertex's update walks its in-adjacency,
+	// so blocks are cut on the prefix sum of in-degrees.
+	var pool *sched.Pool
+	var bounds []int
+	if workers > 1 && n >= workers*64 {
+		pool = sched.NewPool(workers)
+		defer pool.Close()
+		bounds = sched.WeightedBounds(n, workers*4, func(v int) int64 {
+			return int64(g.InDegree(v)) + 1
+		})
+	}
+	iterate := func(body func(lo, hi int)) {
+		if pool == nil {
+			body(0, n)
+			return
+		}
+		pool.Dispatch(bounds, sched.Steal, func(_, _, lo, hi int) error {
+			body(lo, hi)
+			return nil
+		})
+	}
+
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -129,7 +153,7 @@ func ComputeContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, e
 		}
 		base := (1-cfg.Damping)/float64(n) + cfg.Damping*danglingMass/float64(n)
 
-		parallelFor(n, workers, func(lo, hi int) {
+		iterate(func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				sum := 0.0
 				in, ws := g.InNeighbors(v), g.InWeights(v)
@@ -163,31 +187,4 @@ func ComputeContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, e
 	}
 	res.Rank = rank
 	return res, nil
-}
-
-// parallelFor splits [0, n) into `workers` contiguous chunks and runs body on
-// each concurrently.
-func parallelFor(n, workers int, body func(lo, hi int)) {
-	if workers <= 1 || n < workers*64 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

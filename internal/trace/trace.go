@@ -18,11 +18,29 @@ const (
 	KernelUpdateMembers     = "UpdateMembers"
 )
 
-// Breakdown accumulates named durations. It is safe for concurrent Add.
+// Gauge names recorded by the sweep scheduler (dimensionless samples,
+// aggregated as means rather than sums).
+const (
+	// GaugeSweepImbalance is the per-sweep worker busy-time imbalance ratio
+	// (max/mean) of the FindBestCommunity dispatch.
+	GaugeSweepImbalance = "SweepImbalance"
+	// GaugeSweepSteals is the number of stolen blocks per sweep.
+	GaugeSweepSteals = "SweepSteals"
+)
+
+// Breakdown accumulates named durations and dimensionless gauge samples. It
+// is safe for concurrent Add/Observe.
 type Breakdown struct {
 	mu     sync.Mutex
 	spans  map[string]time.Duration
 	counts map[string]uint64
+	gauges map[string]gauge
+}
+
+// gauge is a running sum/count of dimensionless samples.
+type gauge struct {
+	sum   float64
+	count uint64
 }
 
 // NewBreakdown returns an empty Breakdown.
@@ -30,6 +48,7 @@ func NewBreakdown() *Breakdown {
 	return &Breakdown{
 		spans:  make(map[string]time.Duration),
 		counts: make(map[string]uint64),
+		gauges: make(map[string]gauge),
 	}
 }
 
@@ -46,6 +65,48 @@ func (b *Breakdown) Time(name string, fn func()) {
 	start := time.Now()
 	fn()
 	b.Add(name, time.Since(start))
+}
+
+// Observe records one sample of the named gauge. Gauges are dimensionless
+// per-event ratios (e.g. a sweep's worker imbalance); they aggregate as
+// means, not sums, and do not contribute to Total.
+func (b *Breakdown) Observe(name string, v float64) {
+	b.mu.Lock()
+	g := b.gauges[name]
+	g.sum += v
+	g.count++
+	b.gauges[name] = g
+	b.mu.Unlock()
+}
+
+// Mean returns the mean of the samples observed under name (0 when none).
+func (b *Breakdown) Mean(name string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.gauges[name]
+	if g.count == 0 {
+		return 0
+	}
+	return g.sum / float64(g.count)
+}
+
+// Samples returns how many samples were observed under name.
+func (b *Breakdown) Samples(name string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gauges[name].count
+}
+
+// GaugeNames returns all observed gauge names, sorted.
+func (b *Breakdown) GaugeNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.gauges))
+	for n := range b.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Get returns the accumulated duration for name.
@@ -99,11 +160,15 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	other.mu.Lock()
 	spans := make(map[string]time.Duration, len(other.spans))
 	counts := make(map[string]uint64, len(other.counts))
+	gauges := make(map[string]gauge, len(other.gauges))
 	for k, v := range other.spans {
 		spans[k] = v
 	}
 	for k, v := range other.counts {
 		counts[k] = v
+	}
+	for k, v := range other.gauges {
+		gauges[k] = v
 	}
 	other.mu.Unlock()
 
@@ -111,6 +176,12 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	for k, v := range spans {
 		b.spans[k] += v
 		b.counts[k] += counts[k]
+	}
+	for k, v := range gauges {
+		g := b.gauges[k]
+		g.sum += v.sum
+		g.count += v.count
+		b.gauges[k] = g
 	}
 	b.mu.Unlock()
 }
@@ -126,6 +197,9 @@ func (b *Breakdown) String() string {
 			share = 100 * float64(d) / float64(total)
 		}
 		fmt.Fprintf(&sb, "%-20s %12v  %5.1f%%\n", n, d.Round(time.Microsecond), share)
+	}
+	for _, n := range b.GaugeNames() {
+		fmt.Fprintf(&sb, "%-20s %12.3f  (mean of %d samples)\n", n, b.Mean(n), b.Samples(n))
 	}
 	return sb.String()
 }

@@ -59,6 +59,65 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+func TestObserveAndMean(t *testing.T) {
+	b := NewBreakdown()
+	if b.Mean(GaugeSweepImbalance) != 0 || b.Samples(GaugeSweepImbalance) != 0 {
+		t.Fatal("empty gauge misbehaves")
+	}
+	b.Observe(GaugeSweepImbalance, 1.0)
+	b.Observe(GaugeSweepImbalance, 2.0)
+	b.Observe(GaugeSweepSteals, 7)
+	if m := b.Mean(GaugeSweepImbalance); m != 1.5 {
+		t.Fatalf("Mean = %g, want 1.5", m)
+	}
+	if b.Samples(GaugeSweepImbalance) != 2 {
+		t.Fatalf("Samples = %d", b.Samples(GaugeSweepImbalance))
+	}
+	// Gauges never pollute the duration totals.
+	if b.Total() != 0 {
+		t.Fatalf("gauges leaked into Total: %v", b.Total())
+	}
+	names := b.GaugeNames()
+	if len(names) != 2 || names[0] != GaugeSweepImbalance {
+		t.Fatalf("GaugeNames = %v", names)
+	}
+	if s := b.String(); !strings.Contains(s, GaugeSweepImbalance) {
+		t.Fatalf("String misses gauges: %q", s)
+	}
+}
+
+func TestMergeGauges(t *testing.T) {
+	a := NewBreakdown()
+	a.Observe("g", 1)
+	b := NewBreakdown()
+	b.Observe("g", 3)
+	a.Merge(b)
+	if m := a.Mean("g"); m != 2 {
+		t.Fatalf("merged mean = %g, want 2", m)
+	}
+	if a.Samples("g") != 2 {
+		t.Fatalf("merged samples = %d", a.Samples("g"))
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Observe("g", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Samples("g") != 8000 || b.Mean("g") != 1 {
+		t.Fatalf("concurrent observes lost: %d samples, mean %g", b.Samples("g"), b.Mean("g"))
+	}
+}
+
 func TestMergeAndString(t *testing.T) {
 	a := NewBreakdown()
 	a.Add("x", time.Second)
