@@ -1,0 +1,94 @@
+// Command asamapd serves community detection over HTTP: upload edge lists
+// into a content-addressed graph registry, then issue detection requests
+// that run on a bounded job queue and are answered from an LRU result cache
+// with byte-exact determinism.
+//
+// Usage:
+//
+//	asamapd -addr :8715
+//	asamapd -addr :8715 -queue 32 -jobs 4 -cache 512 -job-timeout 2m
+//	asamapd -preload graph.txt             # register a graph at startup
+//
+// Endpoints:
+//
+//	POST /v1/graphs[?directed=true]   upload an edge list, returns its hash
+//	GET  /v1/graphs/{hash}            registered graph shape
+//	POST /v1/detect                   {"graph":"<hash>","options":{...}}
+//	GET  /healthz                     liveness + registry/queue/cache stats
+//	GET  /metrics                     Prometheus text format
+//	GET  /debug/pprof/                Go profiling
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/asamap/asamap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8715", "listen address")
+	queueCap := flag.Int("queue", 16, "max outstanding detection jobs (queued + running); excess requests get 429")
+	jobs := flag.Int("jobs", 2, "detection jobs executed concurrently")
+	cacheEntries := flag.Int("cache", 256, "result-cache capacity (entries)")
+	maxUpload := flag.Int64("max-upload", 64<<20, "max edge-list upload size in bytes")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock bound (0 = unbounded)")
+	preload := flag.String("preload", "", "edge-list file to register at startup (optional)")
+	preloadDirected := flag.Bool("preload-directed", false, "treat the preloaded edge list as directed")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.QueueCapacity = *queueCap
+	cfg.Workers = *jobs
+	cfg.CacheEntries = *cacheEntries
+	cfg.MaxUploadBytes = *maxUpload
+	cfg.JobTimeout = *jobTimeout
+	srv := serve.New(cfg)
+	defer srv.Close()
+
+	if *preload != "" {
+		data, err := os.ReadFile(*preload)
+		if err != nil {
+			log.Fatalf("asamapd: preload: %v", err)
+		}
+		info, err := srv.Registry().Add(data, *preloadDirected)
+		if err != nil {
+			log.Fatalf("asamapd: preload %s: %v", *preload, err)
+		}
+		log.Printf("preloaded %s: hash=%s vertices=%d arcs=%d", *preload, info.Hash, info.Vertices, info.Arcs)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("asamapd listening on %s (queue=%d jobs=%d cache=%d)", *addr, *queueCap, *jobs, *cacheEntries)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("asamapd: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("asamapd: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "asamapd: shutdown: %v\n", err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package asamap_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden e2e tests exec the real CLI binaries through `go run` against a
+// small committed LFR benchmark and byte-compare their outputs with files
+// under testdata/golden. They pin the end-to-end determinism contract: same
+// input, same seed => same bytes, across releases and worker counts.
+//
+// Regenerate (after an intentional algorithm change) with:
+//
+//	go run ./cmd/infomap -in testdata/golden/lfr_small.txt -seed 1 -workers 2 \
+//	    -out testdata/golden/lfr_small.assign.golden \
+//	    | sed '/^elapsed:/d; /^wrote /d' > testdata/golden/lfr_small.infomap.stdout.golden
+//	go run ./cmd/quality -pred testdata/golden/lfr_small.assign.golden \
+//	    -truth testdata/golden/lfr_small.truth -graph testdata/golden/lfr_small.txt \
+//	    > testdata/golden/lfr_small.quality.golden
+
+// runCLI executes `go run ./cmd/<name> args...` from the module root and
+// returns its stdout.
+func runCLI(t *testing.T, name string, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + name}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run ./cmd/%s %v: %v\nstderr:\n%s", name, args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// normalizeStdout drops the lines that legitimately vary between runs: the
+// wall-clock "elapsed:" line and "wrote ... to <path>" lines that embed
+// temp-file paths. Everything else must be byte-stable.
+func normalizeStdout(out []byte) []byte {
+	var kept []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "elapsed:") || strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return []byte(strings.Join(kept, "\n"))
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestE2EInfomapGolden runs cmd/infomap on the committed LFR graph and
+// byte-compares both the assignment file and the (normalized) stdout
+// against goldens.
+func TestE2EInfomapGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	assign := filepath.Join(t.TempDir(), "assign.txt")
+	out := runCLI(t, "infomap",
+		"-in", filepath.Join("testdata", "golden", "lfr_small.txt"),
+		"-seed", "1", "-workers", "2", "-out", assign)
+
+	got := normalizeStdout(out)
+	want := readGolden(t, "lfr_small.infomap.stdout.golden")
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		t.Errorf("infomap stdout drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	gotAssign, err := os.ReadFile(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAssign := readGolden(t, "lfr_small.assign.golden")
+	if !bytes.Equal(gotAssign, wantAssign) {
+		t.Error("assignment file is not byte-identical to the golden")
+	}
+}
+
+// TestE2EInfomapGoldenWorkerInvariance reruns the same detection with a
+// different worker count and scheduler; the assignment bytes must not move —
+// the scheduler's determinism guarantee observed at the CLI boundary.
+func TestE2EInfomapGoldenWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	wantAssign := readGolden(t, "lfr_small.assign.golden")
+	for _, tc := range []struct{ workers, sched string }{
+		{"1", "steal"},
+		{"4", "steal"},
+		{"4", "static"},
+	} {
+		assign := filepath.Join(t.TempDir(), "assign.txt")
+		runCLI(t, "infomap",
+			"-in", filepath.Join("testdata", "golden", "lfr_small.txt"),
+			"-seed", "1", "-workers", tc.workers, "-sched", tc.sched, "-out", assign)
+		got, err := os.ReadFile(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantAssign) {
+			t.Errorf("workers=%s sched=%s: assignment differs from golden", tc.workers, tc.sched)
+		}
+	}
+}
+
+// TestE2EQualityGolden scores the golden assignment against the planted
+// truth and byte-compares cmd/quality's stdout.
+func TestE2EQualityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	out := runCLI(t, "quality",
+		"-pred", filepath.Join("testdata", "golden", "lfr_small.assign.golden"),
+		"-truth", filepath.Join("testdata", "golden", "lfr_small.truth"),
+		"-graph", filepath.Join("testdata", "golden", "lfr_small.txt"))
+	want := readGolden(t, "lfr_small.quality.golden")
+	if !bytes.Equal(out, want) {
+		t.Errorf("quality stdout drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}

@@ -1,0 +1,87 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotone(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	if c.Since(a) < 0 {
+		t.Fatal("negative Since on real clock")
+	}
+}
+
+func TestFakeNowAndSince(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(4 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(5, 0)) {
+			t.Fatalf("fired at %v, want t=5s", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("%d timers still pending", f.Pending())
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestFakeMultipleTimersFireInDeadlineOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	late := f.After(10 * time.Second)
+	early := f.After(2 * time.Second)
+	mid := f.After(5 * time.Second)
+	f.Advance(20 * time.Second)
+	te, tm, tl := <-early, <-mid, <-late
+	if !(te.Equal(tl) && tm.Equal(tl)) {
+		t.Fatalf("timers observed different fire times: %v %v %v", te, tm, tl)
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("%d timers still pending", f.Pending())
+	}
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// canonicalHashVersion tags the byte layout fed to the canonical hash so the
+// identity can be evolved without silently aliasing old digests.
+const canonicalHashVersion = "asamap-graph-v1\n"
+
+// CanonicalHash returns the SHA-256 digest of the graph's canonical edge
+// form: directedness, vertex count, and the CSR arc list (row lengths,
+// sorted targets, IEEE-754 weight bits) in little-endian byte order.
+//
+// Build canonicalizes edges — rows are sorted by target and duplicate arcs
+// are merged by weight summation — so any two inputs describing the same
+// weighted graph (shuffled edge order, duplicated lines that sum to the same
+// weights, either orientation of an undirected edge) hash identically, while
+// any structural or weight difference changes the digest. This is the
+// content address used by the serving layer's graph registry.
+func (g *Graph) CanonicalHash() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+
+	h.Write([]byte(canonicalHashVersion))
+	if g.directed {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	writeU64(uint64(g.n))
+	writeU64(uint64(len(g.targets)))
+	for u := 0; u < g.n; u++ {
+		writeU64(uint64(g.OutDegree(u)))
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i, v := range nb {
+			writeU64(uint64(v))
+			writeU64(math.Float64bits(ws[i]))
+		}
+	}
+
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CanonicalHashString returns CanonicalHash as lowercase hex, the form used
+// in URLs, logs, and cache keys.
+func (g *Graph) CanonicalHashString() string {
+	sum := g.CanonicalHash()
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildFrom(t *testing.T, n int, directed bool, edges [][3]float64) *Graph {
+	t.Helper()
+	b := NewBuilder(n, directed)
+	for _, e := range edges {
+		if err := b.AddEdge(uint32(e[0]), uint32(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestCanonicalHashStableAcrossEdgeOrder(t *testing.T) {
+	a := buildFrom(t, 4, false, [][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 1}})
+	b := buildFrom(t, 4, false, [][3]float64{{2, 3, 1}, {0, 1, 1}, {1, 2, 2}})
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("edge insertion order changed the canonical hash")
+	}
+	// Undirected edges are symmetric: either orientation is the same edge.
+	c := buildFrom(t, 4, false, [][3]float64{{1, 0, 1}, {2, 1, 2}, {3, 2, 1}})
+	if a.CanonicalHash() != c.CanonicalHash() {
+		t.Fatal("undirected edge orientation changed the canonical hash")
+	}
+	// Duplicate arcs merge by summation into the same canonical form.
+	d := buildFrom(t, 4, false, [][3]float64{{0, 1, 0.5}, {0, 1, 0.5}, {1, 2, 2}, {2, 3, 1}})
+	if a.CanonicalHash() != d.CanonicalHash() {
+		t.Fatal("merged duplicate arcs changed the canonical hash")
+	}
+}
+
+func TestCanonicalHashDistinguishesGraphs(t *testing.T) {
+	base := buildFrom(t, 4, false, [][3]float64{{0, 1, 1}, {1, 2, 2}})
+	cases := map[string]*Graph{
+		"extra edge":      buildFrom(t, 4, false, [][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 1}}),
+		"weight change":   buildFrom(t, 4, false, [][3]float64{{0, 1, 1}, {1, 2, 2.5}}),
+		"extra vertex":    buildFrom(t, 5, false, [][3]float64{{0, 1, 1}, {1, 2, 2}}),
+		"directed twin":   buildFrom(t, 4, true, [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 2, 2}, {2, 1, 2}}),
+		"rewired target":  buildFrom(t, 4, false, [][3]float64{{0, 1, 1}, {1, 3, 2}}),
+		"swapped weights": buildFrom(t, 4, false, [][3]float64{{0, 1, 2}, {1, 2, 1}}),
+	}
+	for name, g := range cases {
+		if g.CanonicalHash() == base.CanonicalHash() {
+			t.Errorf("%s: hash collides with base graph", name)
+		}
+	}
+}
+
+func TestCanonicalHashMatchesParsedEquivalents(t *testing.T) {
+	// Two textually different edge lists for the same weighted graph must
+	// land on the same content address — the registry dedup property.
+	a, _, err := ReadEdgeList(strings.NewReader("0 1 2\n1 2\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReadEdgeList(strings.NewReader("# same graph, split weights, one edge reversed\n0 1 1\n0 1 1\n2 1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("equivalent edge lists produced different canonical hashes")
+	}
+}
+
+func TestCanonicalHashString(t *testing.T) {
+	g := buildFrom(t, 2, false, [][3]float64{{0, 1, 1}})
+	s := g.CanonicalHashString()
+	if len(s) != 64 {
+		t.Fatalf("hex digest length %d, want 64", len(s))
+	}
+	if s != g.CanonicalHashString() {
+		t.Fatal("hash string not stable")
+	}
+}
+
+func TestCanonicalHashEmptyGraph(t *testing.T) {
+	e1 := NewBuilder(0, false).Build()
+	e2 := NewBuilder(0, true).Build()
+	if e1.CanonicalHash() == e2.CanonicalHash() {
+		t.Fatal("empty directed and undirected graphs share a hash")
+	}
+}

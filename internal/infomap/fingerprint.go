@@ -1,0 +1,51 @@
+package infomap
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintVersion tags the byte layout of Fingerprint so the encoding can
+// change without aliasing digests cached under an older scheme.
+const fingerprintVersion = "asamap-opt-v1\n"
+
+// Fingerprint returns a stable hex digest over every option field that can
+// change the bytes of a result. Together with a graph's CanonicalHash and
+// the Seed it identifies a run completely, which is what makes detection
+// results cacheable: same (graph hash, fingerprint) in, same bytes out.
+//
+// Workers and Sched are deliberately excluded: the sweep scheduler
+// guarantees bit-identical results across any worker count and scheduling
+// policy for a fixed Seed (see internal/sched and the determinism tests), so
+// including them would only fragment the cache across execution
+// configurations that cannot disagree. The Seed IS included — it selects the
+// visitation order and therefore the result.
+func (o Options) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	h.Write([]byte(fingerprintVersion))
+	u64(uint64(o.Kind))
+	// ASAConfig shapes accumulation order on overflow and is therefore
+	// result-relevant for the ASA backend; hash it unconditionally so the
+	// encoding does not depend on Kind.
+	u64(uint64(o.ASAConfig.CapacityBytes))
+	u64(uint64(o.ASAConfig.EntryBytes))
+	u64(uint64(o.ASAConfig.Policy))
+	u64(uint64(o.MaxSweeps))
+	f64(o.MinImprovement)
+	u64(uint64(o.MaxLevels))
+	u64(uint64(o.OuterIters))
+	u64(o.Seed)
+	f64(o.Damping)
+	u64(uint64(o.Teleport))
+
+	return hex.EncodeToString(h.Sum(nil))
+}

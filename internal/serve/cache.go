@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheOutcome classifies how a request's result was obtained.
+type CacheOutcome string
+
+const (
+	// CacheMiss: this request executed the detection run.
+	CacheMiss CacheOutcome = "miss"
+	// CacheHit: the result was already cached.
+	CacheHit CacheOutcome = "hit"
+	// CacheCoalesced: an identical request was already in flight; this one
+	// waited for it and shared its result without running anything.
+	CacheCoalesced CacheOutcome = "coalesced"
+)
+
+// CacheStats is a point-in-time snapshot of cache activity.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ResultCache is a fixed-capacity LRU of serialized detection responses,
+// keyed by (graph hash, options fingerprint, seed). Because a run is
+// bit-deterministic given that key, the cache stores the exact response
+// bytes and replays them verbatim — identical requests receive identical
+// bytes whether computed or cached, which is the API's determinism
+// guarantee. Lookups of a key currently being computed coalesce onto the
+// in-flight computation instead of starting a second run.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flight  flightGroup
+	hits    uint64
+	misses  uint64
+	shared  uint64
+	evicted uint64
+}
+
+type cacheItem struct {
+	key string
+	val []byte
+}
+
+// NewResultCache returns an LRU holding up to capacity entries (minimum 1).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ResultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key and bumps its recency.
+func (c *ResultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put inserts key -> val, evicting the least recently used entry if needed.
+func (c *ResultCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+		c.evicted++
+	}
+}
+
+// GetOrCompute returns the cached bytes for key, or runs compute exactly
+// once across all concurrent callers of the same key and caches its result.
+// Errors are never cached; every caller of a failed flight receives the
+// error and a later request recomputes.
+func (c *ResultCache) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, CacheOutcome, error) {
+	if val, ok := c.get(key); ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return val, CacheHit, nil
+	}
+	val, coalesced, err := c.flight.Do(key, func() ([]byte, error) {
+		// A racing flight may have filled the cache between the miss above
+		// and this leader starting; serving it keeps the run count minimal.
+		if val, ok := c.get(key); ok {
+			return val, nil
+		}
+		val, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		c.put(key, val)
+		return val, nil
+	})
+	c.mu.Lock()
+	if err == nil && coalesced {
+		c.shared++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	if coalesced {
+		return val, CacheCoalesced, nil
+	}
+	return val, CacheMiss, nil
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.shared,
+		Evictions: c.evicted,
+	}
+}

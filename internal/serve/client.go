@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for an asamapd server. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8715"). hc may be nil to use http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// ServerBusyError reports a 429 rejection with the server's Retry-After
+// estimate.
+type ServerBusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *ServerBusyError) Error() string {
+	return fmt.Sprintf("serve: server busy, retry after %s", e.RetryAfter)
+}
+
+// APIError is any non-2xx response that is not a 429.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// UploadGraph streams an edge list to the server and returns its content
+// address. Identical uploads are deduplicated server-side.
+func (c *Client) UploadGraph(ctx context.Context, edgeList io.Reader, directed bool) (GraphInfo, error) {
+	url := c.base + "/v1/graphs"
+	if directed {
+		url += "?directed=true"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, edgeList)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	var info GraphInfo
+	if err := c.do(req, &info); err != nil {
+		return GraphInfo{}, err
+	}
+	return info, nil
+}
+
+// GraphInfo fetches the registered shape of a graph by hash.
+func (c *Client) GraphInfo(ctx context.Context, hash string) (GraphInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/graphs/"+hash, nil)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	var info GraphInfo
+	if err := c.do(req, &info); err != nil {
+		return GraphInfo{}, err
+	}
+	return info, nil
+}
+
+// DetectResult pairs the response body with its cache disposition.
+type DetectResult struct {
+	DetectResponse
+	// Cache reports how the server obtained the result: miss (computed),
+	// hit (cached), or coalesced (shared an in-flight identical request).
+	Cache CacheOutcome
+	// Raw is the exact response body; byte-identical across identical
+	// requests — the server's determinism guarantee.
+	Raw []byte
+}
+
+// Detect runs (or fetches) community detection for a registered graph.
+func (c *Client) Detect(ctx context.Context, graphHash string, opts DetectOptions) (*DetectResult, error) {
+	body, err := json.Marshal(DetectRequest{Graph: graphHash, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/detect", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp, raw)
+	}
+	out := &DetectResult{
+		Cache: CacheOutcome(resp.Header.Get("X-Asamap-Cache")),
+		Raw:   raw,
+	}
+	if err := json.Unmarshal(raw, &out.DetectResponse); err != nil {
+		return nil, fmt.Errorf("serve: decoding detect response: %w", err)
+	}
+	return out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// do executes req and decodes a 2xx JSON body into out.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return responseError(resp, raw)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// responseError converts a non-2xx response into the matching typed error.
+func responseError(resp *http.Response, raw []byte) error {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			retry = time.Duration(v) * time.Second
+		}
+		return &ServerBusyError{RetryAfter: retry}
+	}
+	var payload struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &payload) == nil && payload.Error != "" {
+		msg = payload.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelIdenticalRequestsSingleflight: N parallel identical requests
+// must execute exactly one parse and one detection run; every response is
+// byte-identical.
+func TestParallelIdenticalRequestsSingleflight(t *testing.T) {
+	s, _, c := newTestServer(t, DefaultConfig())
+	ctx := context.Background()
+	info, err := c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	raws := make([][]byte, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Detect(ctx, info.Hash, DetectOptions{Seed: 11})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			raws[i] = res.Raw
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(raws[0], raws[i]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	if got := s.Runs(); got != 1 {
+		t.Fatalf("%d detection runs for %d identical parallel requests, want 1", got, n)
+	}
+	if got := s.registry.Stats().Parses; got != 1 {
+		t.Fatalf("%d parses, want 1", got)
+	}
+}
+
+// TestParallelIdenticalUploadsSingleflight: concurrent identical uploads
+// parse once and agree on the content address.
+func TestParallelIdenticalUploadsSingleflight(t *testing.T) {
+	s, _, c := newTestServer(t, DefaultConfig())
+	ctx := context.Background()
+	const n = 12
+	var wg sync.WaitGroup
+	hashes := make([]string, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			info, err := c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+			hashes[i], errs[i] = info.Hash, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("upload %d: %v", i, errs[i])
+		}
+		if hashes[i] != hashes[0] {
+			t.Fatalf("upload %d hash %s != %s", i, hashes[i], hashes[0])
+		}
+	}
+	if got := s.registry.Stats().Parses; got != 1 {
+		t.Fatalf("%d parses for %d concurrent identical uploads, want 1", got, n)
+	}
+}
+
+// TestQueueSaturationExactlyOne429 is the acceptance criterion: with queue
+// capacity K, K+1 concurrent requests yield exactly one 429 and K
+// successful deterministic results. The test gate holds every admitted job
+// in flight until all submissions have resolved, so the count is exact by
+// construction, not by timing.
+func TestQueueSaturationExactlyOne429(t *testing.T) {
+	const k = 3
+	cfg := DefaultConfig()
+	cfg.QueueCapacity = k
+	cfg.Workers = 2
+	s, _, c := newTestServer(t, cfg)
+	ctx := context.Background()
+	info, err := c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate: jobs block until released, so all K admission tokens stay held
+	// while the K+1st request arrives — saturation is exact by construction.
+	release := make(chan struct{})
+	s.queue.setTestGate(func() { <-release })
+
+	// K+1 requests with distinct seeds (identical seeds would coalesce in
+	// the cache, never reaching the queue).
+	results := make([]error, k+1)
+	raws := make([][]byte, k+1)
+	var wg sync.WaitGroup
+	wg.Add(k + 1)
+	for i := 0; i <= k; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Detect(ctx, info.Hash, DetectOptions{Seed: uint64(100 + i)})
+			if err != nil {
+				results[i] = err
+				return
+			}
+			raws[i] = res.Raw
+		}(i)
+	}
+
+	// Spin until the queue reports K outstanding and exactly one rejection.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.queue.Stats()
+		if st.Rejected == 1 && st.Outstanding == k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never saturated: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	var busy, ok int
+	for i, err := range results {
+		switch {
+		case err == nil:
+			ok++
+			if len(raws[i]) == 0 {
+				t.Fatalf("request %d succeeded with empty body", i)
+			}
+		default:
+			var b *ServerBusyError
+			if !errors.As(err, &b) {
+				t.Fatalf("request %d failed with %v, want ServerBusyError", i, err)
+			}
+			if b.RetryAfter < time.Second {
+				t.Fatalf("Retry-After %v below the 1s floor", b.RetryAfter)
+			}
+			busy++
+		}
+	}
+	if busy != 1 || ok != k {
+		t.Fatalf("%d rejected / %d succeeded, want 1 / %d", busy, ok, k)
+	}
+
+	// The K successes are deterministic: re-running each seed must
+	// reproduce its bytes (now from cache).
+	for i := 0; i <= k; i++ {
+		if results[i] != nil {
+			continue
+		}
+		res, err := c.Detect(ctx, info.Hash, DetectOptions{Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Raw, raws[i]) {
+			t.Fatalf("seed %d replay differs from first run", 100+i)
+		}
+	}
+}
+
+// TestClientDisconnectCancelsInFlightJob: closing the request must cancel
+// the detection run promptly through the context chain, and the queue must
+// account it as canceled, not completed.
+func TestClientDisconnectCancelsInFlightJob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.QueueCapacity = 2
+	s, _, c := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	// A graph big enough that a run takes long enough to straddle the
+	// cancellation (hundreds of sweeps on ~2k vertices).
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%2000)
+		fmt.Fprintf(&sb, "%d %d\n", i, (i+7)%2000)
+	}
+	info, err := c.UploadGraph(ctx, strings.NewReader(sb.String()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var startedOnce sync.Once
+	started := make(chan struct{})
+	s.queue.setTestGate(func() { startedOnce.Do(func() { close(started) }) })
+
+	reqCtx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Detect(reqCtx, info.Hash, DetectOptions{Seed: 5, MaxSweeps: 1000, OuterIters: 100})
+		done <- err
+	}()
+	<-started
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled request returned a result")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled request did not return within 10s")
+	}
+
+	// The worker observes the cancellation and frees the slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.queue.Stats()
+		if st.Canceled >= 1 && st.Outstanding == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not accounted as canceled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.cache.Stats().Entries != 0 {
+		t.Fatal("canceled run left a cache entry")
+	}
+}
+
+// TestCancelWhileQueuedSkipsRun: a job whose client disconnects while still
+// waiting in the queue must be skipped without executing.
+func TestCancelWhileQueuedSkipsRun(t *testing.T) {
+	q := NewQueue(4, 1, nil)
+	defer q.Close()
+
+	block := make(chan struct{})
+	h1, err := q.Submit(context.Background(), func(ctx context.Context) error {
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	ran := false
+	h2, err := q.Submit(ctx2, func(ctx context.Context) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel2() // dies while queued behind the blocked job
+	close(block)
+
+	if err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-canceled job returned %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("canceled job executed anyway")
+	}
+	st := q.Stats()
+	if st.Canceled != 1 || st.Completed != 1 {
+		t.Fatalf("queue accounting: %+v", st)
+	}
+}
+
+// TestQueueCloseRejectsNewJobs: submissions after Close fail fast with
+// ErrQueueClosed instead of hanging.
+func TestQueueCloseRejectsNewJobs(t *testing.T) {
+	q := NewQueue(2, 1, nil)
+	q.Close()
+	if _, err := q.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close returned %v", err)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers every endpoint at once; under -race
+// this is the serve package's data-race canary.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	s, hs, c := newTestServer(t, DefaultConfig())
+	ctx := context.Background()
+	info, err := c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				switch i % 4 {
+				case 0:
+					c.Detect(ctx, info.Hash, DetectOptions{Seed: uint64(j%3 + 1)})
+				case 1:
+					c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+				case 2:
+					c.Health(ctx)
+				case 3:
+					resp, err := hs.Client().Get(hs.URL + "/metrics")
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Runs() > 3 {
+		t.Fatalf("%d runs for 3 distinct seeds, want <= 3", s.Runs())
+	}
+}

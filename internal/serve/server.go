@@ -1,0 +1,429 @@
+// Package serve is the network-facing layer of the repository: an HTTP
+// service that accepts edge-list uploads into a content-addressed graph
+// registry and serves community-detection requests from a bounded job queue
+// through an LRU result cache.
+//
+// The design exploits two properties the rest of the repository already
+// guarantees:
+//
+//   - graphs are immutable CSR structures, so one parsed graph can back any
+//     number of concurrent detection runs (content addressing makes reuse
+//     automatic: the SHA-256 of the canonicalized edges is the graph's name);
+//   - detection is bit-deterministic in (graph, options fingerprint, seed)
+//     regardless of worker count or steal schedule, so responses can be
+//     cached and replayed as exact bytes — determinism is an API guarantee,
+//     not just a test property.
+//
+// Backpressure is explicit: admission control bounds outstanding jobs, and
+// saturated queues answer 429 with a Retry-After estimate instead of
+// stalling the connection.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/trace"
+)
+
+// Config sizes the server. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// QueueCapacity bounds outstanding (queued + running) detection jobs;
+	// the QueueCapacity+1st concurrent request is rejected with 429.
+	QueueCapacity int
+	// Workers is the number of detection jobs executed concurrently. Each
+	// job internally parallelizes across the sweep-scheduler pool according
+	// to its requested per-run worker count.
+	Workers int
+	// CacheEntries bounds the LRU result cache.
+	CacheEntries int
+	// MaxUploadBytes bounds one edge-list upload.
+	MaxUploadBytes int64
+	// JobTimeout bounds one detection run's wall clock (0 = unbounded);
+	// it composes with the client's own disconnect/cancellation.
+	JobTimeout time.Duration
+	// Clock is injectable for deterministic tests; nil means the real clock.
+	Clock clock.Clock
+}
+
+// DefaultConfig returns production-shaped sizing: 16 outstanding jobs, 2
+// concurrent runs, 256 cached results, 64 MiB uploads, 5 minute job cap.
+func DefaultConfig() Config {
+	return Config{
+		QueueCapacity:  16,
+		Workers:        2,
+		CacheEntries:   256,
+		MaxUploadBytes: 64 << 20,
+		JobTimeout:     5 * time.Minute,
+		Clock:          clock.Real{},
+	}
+}
+
+// Server wires the registry, queue, and cache behind an http.Handler.
+type Server struct {
+	cfg      Config
+	clk      clock.Clock
+	registry *Registry
+	queue    *Queue
+	cache    *ResultCache
+	agg      *trace.Breakdown // kernel breakdowns merged across all runs
+	mux      *http.ServeMux
+	started  time.Time
+
+	runs atomic.Uint64 // detection runs actually executed (not cache/coalesced)
+}
+
+// New constructs a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.QueueCapacity < 1 {
+		cfg.QueueCapacity = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 1
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		registry: NewRegistry(),
+		queue:    NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.Clock),
+		cache:    NewResultCache(cfg.CacheEntries),
+		agg:      trace.NewBreakdown(),
+		started:  cfg.Clock.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphInfo)
+	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the job queue and releases the workers.
+func (s *Server) Close() { s.queue.Close() }
+
+// Registry exposes the graph registry (read-mostly; used by the CLI for
+// preloading graphs at startup).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Runs reports how many detection runs actually executed.
+func (s *Server) Runs() uint64 { return s.runs.Load() }
+
+// DetectRequest is the body of POST /v1/detect.
+type DetectRequest struct {
+	// Graph is the canonical hash returned by POST /v1/graphs.
+	Graph string `json:"graph"`
+	// Options configures the run; absent fields take the library defaults.
+	Options DetectOptions `json:"options"`
+}
+
+// DetectOptions is the wire form of infomap.Options. Zero values mean "use
+// the default" (infomap.DefaultOptions); Seed 0 therefore maps to the
+// default seed 1 — pass an explicit non-zero seed to vary results.
+type DetectOptions struct {
+	Accum          string  `json:"accum,omitempty"` // baseline | asa | gomap
+	CamKB          int     `json:"cam_kb,omitempty"`
+	Workers        int     `json:"workers,omitempty"` // per-run sweep workers; 0 keeps default 1
+	Sched          string  `json:"sched,omitempty"`   // steal | static
+	MaxSweeps      int     `json:"max_sweeps,omitempty"`
+	MinImprovement float64 `json:"min_improvement,omitempty"`
+	MaxLevels      int     `json:"max_levels,omitempty"`
+	OuterIters     int     `json:"outer_iters,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	Damping        float64 `json:"damping,omitempty"`
+	Teleport       string  `json:"teleport,omitempty"` // recorded | unrecorded
+}
+
+// toOptions maps the wire options onto infomap.Options.
+func (d DetectOptions) toOptions() (infomap.Options, error) {
+	opt := infomap.DefaultOptions()
+	switch d.Accum {
+	case "", "baseline":
+		opt.Kind = infomap.Baseline
+	case "asa":
+		opt.Kind = infomap.ASA
+		camKB := d.CamKB
+		if camKB <= 0 {
+			camKB = 8
+		}
+		opt.ASAConfig = asa.Config{CapacityBytes: camKB * 1024, EntryBytes: 16, Policy: asa.LRU}
+	case "gomap":
+		opt.Kind = infomap.GoMap
+	default:
+		return opt, fmt.Errorf("unknown accum %q (want baseline|asa|gomap)", d.Accum)
+	}
+	switch d.Sched {
+	case "", "steal":
+		opt.Sched = infomap.SchedSteal
+	case "static":
+		opt.Sched = infomap.SchedStatic
+	default:
+		return opt, fmt.Errorf("unknown sched %q (want steal|static)", d.Sched)
+	}
+	switch d.Teleport {
+	case "", "recorded":
+		opt.Teleport = infomap.TeleportRecorded
+	case "unrecorded":
+		opt.Teleport = infomap.TeleportUnrecorded
+	default:
+		return opt, fmt.Errorf("unknown teleport %q (want recorded|unrecorded)", d.Teleport)
+	}
+	if d.Workers != 0 {
+		opt.Workers = d.Workers
+	}
+	if d.MaxSweeps != 0 {
+		opt.MaxSweeps = d.MaxSweeps
+	}
+	if d.MinImprovement != 0 {
+		opt.MinImprovement = d.MinImprovement
+	}
+	if d.MaxLevels != 0 {
+		opt.MaxLevels = d.MaxLevels
+	}
+	if d.OuterIters != 0 {
+		opt.OuterIters = d.OuterIters
+	}
+	if d.Seed != 0 {
+		opt.Seed = d.Seed
+	}
+	if d.Damping != 0 {
+		opt.Damping = d.Damping
+	}
+	return opt, nil
+}
+
+// DetectResponse is the body of a successful POST /v1/detect. It carries
+// only deterministic fields — no wall-clock values — so identical requests
+// yield byte-identical bodies whether computed, cached, or coalesced.
+// Timing travels in the X-Asamap-Elapsed response header instead.
+type DetectResponse struct {
+	Graph              string   `json:"graph"`
+	Fingerprint        string   `json:"fingerprint"`
+	Seed               uint64   `json:"seed"`
+	NumModules         int      `json:"num_modules"`
+	Codelength         float64  `json:"codelength"`
+	OneLevelCodelength float64  `json:"one_level_codelength"`
+	Levels             int      `json:"levels"`
+	Sweeps             int      `json:"sweeps"`
+	Moves              uint64   `json:"moves"`
+	Membership         []uint32 `json:"membership"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	directed := false
+	switch v := r.URL.Query().Get("directed"); v {
+	case "", "false", "0":
+	case "true", "1":
+		directed = true
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad directed value %q", v))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := s.registry.Add(data, directed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if info.Reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	_, info, ok := s.registry.Get(r.PathValue("hash"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown graph hash")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	g, _, ok := s.registry.Get(req.Graph)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown graph hash (upload via POST /v1/graphs first)")
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := opt.Fingerprint()
+	key := req.Graph + "|" + fp + "|" + strconv.FormatUint(opt.Seed, 10)
+
+	start := s.clk.Now()
+	body, outcome, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		jobCtx := r.Context()
+		if s.cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			jobCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobTimeout)
+			defer cancel()
+		}
+		var res *infomap.Result
+		handle, err := s.queue.Submit(jobCtx, func(ctx context.Context) error {
+			s.runs.Add(1)
+			var runErr error
+			res, runErr = infomap.RunContext(ctx, g, opt)
+			return runErr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := handle.Wait(jobCtx); err != nil {
+			return nil, err
+		}
+		s.agg.Merge(res.Breakdown)
+		return json.Marshal(DetectResponse{
+			Graph:              req.Graph,
+			Fingerprint:        fp,
+			Seed:               opt.Seed,
+			NumModules:         res.NumModules,
+			Codelength:         res.Codelength,
+			OneLevelCodelength: res.OneLevelCodelength,
+			Levels:             res.Levels,
+			Sweeps:             res.Sweeps,
+			Moves:              res.Moves,
+			Membership:         res.Membership,
+		})
+	})
+	if err != nil {
+		s.writeDetectError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Asamap-Cache", string(outcome))
+	w.Header().Set("X-Asamap-Elapsed", s.clk.Since(start).String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// writeDetectError maps queue and context failures onto HTTP statuses.
+func (s *Server) writeDetectError(w http.ResponseWriter, err error) {
+	var full *ErrQueueFull
+	switch {
+	case errors.As(err, &full):
+		secs := int(full.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "detection run exceeded the job timeout")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status code is a formality for logs.
+		httpError(w, 499, "request canceled")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// healthPayload is the /healthz body.
+type healthPayload struct {
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Registry      RegistryStats `json:"registry"`
+	Queue         QueueStats    `json:"queue"`
+	Cache         CacheStats    `json:"cache"`
+	Runs          uint64        `json:"runs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthPayload{
+		Status:        "ok",
+		UptimeSeconds: s.clk.Since(s.started).Seconds(),
+		Registry:      s.registry.Stats(),
+		Queue:         s.queue.Stats(),
+		Cache:         s.cache.Stats(),
+		Runs:          s.runs.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	qs, cs, rs := s.queue.Stats(), s.cache.Stats(), s.registry.Stats()
+	fmt.Fprintf(w, "# HELP asamap_queue_capacity Outstanding-job bound of the detection queue.\n")
+	fmt.Fprintf(w, "# TYPE asamap_queue_capacity gauge\n")
+	fmt.Fprintf(w, "asamap_queue_capacity %d\n", qs.Capacity)
+	fmt.Fprintf(w, "# HELP asamap_queue_outstanding Admitted jobs not yet finished.\n")
+	fmt.Fprintf(w, "# TYPE asamap_queue_outstanding gauge\n")
+	fmt.Fprintf(w, "asamap_queue_outstanding %d\n", qs.Outstanding)
+	fmt.Fprintf(w, "# TYPE asamap_jobs_submitted_total counter\nasamap_jobs_submitted_total %d\n", qs.Submitted)
+	fmt.Fprintf(w, "# TYPE asamap_jobs_rejected_total counter\nasamap_jobs_rejected_total %d\n", qs.Rejected)
+	fmt.Fprintf(w, "# TYPE asamap_jobs_completed_total counter\nasamap_jobs_completed_total %d\n", qs.Completed)
+	fmt.Fprintf(w, "# TYPE asamap_jobs_canceled_total counter\nasamap_jobs_canceled_total %d\n", qs.Canceled)
+	fmt.Fprintf(w, "# TYPE asamap_cache_entries gauge\nasamap_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# TYPE asamap_cache_hits_total counter\nasamap_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# TYPE asamap_cache_misses_total counter\nasamap_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# TYPE asamap_cache_coalesced_total counter\nasamap_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(w, "# TYPE asamap_cache_evictions_total counter\nasamap_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# TYPE asamap_registry_graphs gauge\nasamap_registry_graphs %d\n", rs.Graphs)
+	fmt.Fprintf(w, "# TYPE asamap_registry_parses_total counter\nasamap_registry_parses_total %d\n", rs.Parses)
+	fmt.Fprintf(w, "# TYPE asamap_registry_raw_hits_total counter\nasamap_registry_raw_hits_total %d\n", rs.RawHits)
+	fmt.Fprintf(w, "# TYPE asamap_runs_total counter\nasamap_runs_total %d\n", s.runs.Load())
+	s.agg.Snapshot().WritePrometheus(w, "asamap")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanSnapshot is one kernel's accumulated duration and invocation count.
+type SpanSnapshot struct {
+	Name  string
+	Total time.Duration
+	Count uint64
+}
+
+// GaugeSnapshot is one gauge's running sum and sample count; Mean is 0 when
+// no samples were observed.
+type GaugeSnapshot struct {
+	Name  string
+	Sum   float64
+	Count uint64
+}
+
+// Mean returns the mean of the gauge's samples (0 when none).
+func (g GaugeSnapshot) Mean() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.Sum / float64(g.Count)
+}
+
+// Snapshot is a consistent point-in-time copy of a Breakdown, taken under one
+// lock acquisition, with deterministic (name-sorted) ordering. It is what the
+// serving layer's /metrics endpoint exports.
+type Snapshot struct {
+	Spans  []SpanSnapshot
+	Gauges []GaugeSnapshot
+}
+
+// Snapshot copies the breakdown's current state. Unlike the per-name getters,
+// all values come from one critical section, so sums are mutually consistent
+// even while other goroutines keep recording.
+func (b *Breakdown) Snapshot() Snapshot {
+	b.mu.Lock()
+	s := Snapshot{
+		Spans:  make([]SpanSnapshot, 0, len(b.spans)),
+		Gauges: make([]GaugeSnapshot, 0, len(b.gauges)),
+	}
+	for name, d := range b.spans {
+		s.Spans = append(s.Spans, SpanSnapshot{Name: name, Total: d, Count: b.counts[name]})
+	}
+	for name, g := range b.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Sum: g.sum, Count: g.count})
+	}
+	b.mu.Unlock()
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	return s
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition format
+// under the given metric namespace (e.g. "asamap"): per-kernel cumulative
+// seconds and invocation counters, and per-gauge sample sums/counts (from
+// which a scraper derives means). Label values are the kernel/gauge names.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(w, "# HELP %s_kernel_seconds_total Cumulative wall-clock seconds per kernel.\n", namespace)
+		fmt.Fprintf(w, "# TYPE %s_kernel_seconds_total counter\n", namespace)
+		for _, sp := range s.Spans {
+			fmt.Fprintf(w, "%s_kernel_seconds_total{kernel=%q} %g\n", namespace, promLabel(sp.Name), sp.Total.Seconds())
+		}
+		fmt.Fprintf(w, "# HELP %s_kernel_invocations_total Recorded spans per kernel.\n", namespace)
+		fmt.Fprintf(w, "# TYPE %s_kernel_invocations_total counter\n", namespace)
+		for _, sp := range s.Spans {
+			fmt.Fprintf(w, "%s_kernel_invocations_total{kernel=%q} %d\n", namespace, promLabel(sp.Name), sp.Count)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "# HELP %s_gauge_sum Running sum of dimensionless gauge samples.\n", namespace)
+		fmt.Fprintf(w, "# TYPE %s_gauge_sum counter\n", namespace)
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "%s_gauge_sum{gauge=%q} %g\n", namespace, promLabel(g.Name), g.Sum)
+		}
+		fmt.Fprintf(w, "# HELP %s_gauge_samples_total Number of gauge samples observed.\n", namespace)
+		fmt.Fprintf(w, "# TYPE %s_gauge_samples_total counter\n", namespace)
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "%s_gauge_samples_total{gauge=%q} %d\n", namespace, promLabel(g.Name), g.Count)
+		}
+	}
+	return nil
+}
+
+// promLabel strips characters that would need escaping inside a Prometheus
+// label value beyond what %q already provides (newlines never occur in
+// kernel names, but the cheap guard keeps the format valid for any input).
+func promLabel(s string) string {
+	return strings.NewReplacer("\n", " ", "\\", "/").Replace(s)
+}

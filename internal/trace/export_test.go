@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotDeterministicAndConsistent(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(KernelPageRank, 2*time.Second)
+	b.Add(KernelFindBestCommunity, time.Second)
+	b.Add(KernelFindBestCommunity, time.Second)
+	b.Observe(GaugeSweepImbalance, 1.5)
+	b.Observe(GaugeSweepImbalance, 2.5)
+	b.Observe(GaugeSweepSteals, 7)
+
+	s := b.Snapshot()
+	if len(s.Spans) != 2 || len(s.Gauges) != 2 {
+		t.Fatalf("snapshot shape: %d spans, %d gauges", len(s.Spans), len(s.Gauges))
+	}
+	// Name-sorted: FindBestCommunity < PageRank.
+	if s.Spans[0].Name != KernelFindBestCommunity || s.Spans[1].Name != KernelPageRank {
+		t.Fatalf("spans not sorted: %v", s.Spans)
+	}
+	if s.Spans[0].Total != 2*time.Second || s.Spans[0].Count != 2 {
+		t.Fatalf("FindBestCommunity span: %+v", s.Spans[0])
+	}
+	if got := s.Gauges[0].Mean(); got != 2.0 {
+		t.Fatalf("imbalance mean %g, want 2.0", got)
+	}
+}
+
+func TestSnapshotUnderConcurrentRecording(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Add("k", time.Microsecond)
+				b.Observe("g", 1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s := b.Snapshot()
+			for _, sp := range s.Spans {
+				if sp.Count == 0 && sp.Total != 0 {
+					t.Error("span with duration but zero count")
+					return
+				}
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(KernelPageRank, 1500*time.Millisecond)
+	b.Observe(GaugeSweepSteals, 3)
+	var sb strings.Builder
+	if err := b.Snapshot().WritePrometheus(&sb, "asamap"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`asamap_kernel_seconds_total{kernel="PageRank"} 1.5`,
+		`asamap_kernel_invocations_total{kernel="PageRank"} 1`,
+		`asamap_gauge_sum{gauge="SweepSteals"} 3`,
+		`asamap_gauge_samples_total{gauge="SweepSteals"} 1`,
+		"# TYPE asamap_kernel_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewBreakdown().Snapshot().WritePrometheus(&sb, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty breakdown produced output: %q", sb.String())
+	}
+}
