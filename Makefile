@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test lint race fuzz-smoke bench-smoke all
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the repository's own analyzer suite (determinism, entropy,
+# cancellation, goroutine-join, and fingerprint contracts) plus go vet.
+lint:
+	$(GO) run ./cmd/asalint ./...
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/serve
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=Sched -benchtime=1x ./...

@@ -1,0 +1,237 @@
+// Command asalint runs the repository's static-contract analyzer suite
+// (internal/analysis) over Go packages and fails the build on any finding.
+//
+// Standalone use (CI's lint job, `make lint`):
+//
+//	go run ./cmd/asalint ./...
+//	go run ./cmd/asalint ./internal/infomap ./internal/serve
+//
+// Diagnostics print as file:line:col: analyzer: message, and the exit code
+// is 1 when any were produced — so the command composes with CI the same
+// way go vet does. `-v` additionally surfaces type-check problems the
+// loader tolerated.
+//
+// Vet-tool use (best-effort): `go vet -vettool=$(which asalint) ./...`
+// invokes the binary once per package with a JSON config file; asalint
+// answers the -V=full version handshake and analyzes the files listed in
+// the config. The standalone mode is the supported, CI-enforced path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/asamap/asamap/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("asalint", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "also print tolerated type-check errors")
+	version := fs.String("V", "", "version handshake for go vet -vettool (use -V=full)")
+	list := fs.Bool("list", false, "print the analyzer names and docs, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: asalint [-v] packages...\n\npatterns: ./... dir/... or package directories\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// The go command caches vet results keyed on this line.
+		fmt.Printf("asalint version devel buildID=asalint-suite-v1\n")
+		return 0
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return runVetTool(patterns[0])
+	}
+
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "asalint: no packages matched")
+		return 2
+	}
+	loader, err := analysis.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asalint: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		if *verbose {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "asalint: typecheck: %v\n", terr)
+			}
+		}
+		diags, err := analysis.Run(pkg, analysis.All(), true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+			exit = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(rel(d.String()))
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// rel shortens absolute paths in a diagnostic line to be cwd-relative, which
+// is what editors and CI annotations expect.
+func rel(line string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return line
+	}
+	if r, ok := strings.CutPrefix(line, cwd+string(filepath.Separator)); ok {
+		return r
+	}
+	return line
+}
+
+// expandPatterns resolves go-style package patterns to package directories:
+// "./..." walks recursively (skipping testdata, vendor, hidden, and
+// examples' node_modules-like noise), anything else is taken as a directory.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if root == "." || root == "" {
+			root = "."
+		}
+		if !recursive {
+			if hasGoFiles(pat) {
+				add(filepath.Clean(pat))
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(filepath.Clean(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// vetConfig is the subset of the go vet -vettool JSON config asalint reads.
+type vetConfig struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// runVetTool handles one `go vet -vettool` invocation: analyze the package
+// whose files are listed in the config, print diagnostics to stderr, exit
+// nonzero when any were found (the go command surfaces stderr verbatim).
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: parsing vet config: %v\n", err)
+		return 2
+	}
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	if dir == "" {
+		return 0
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+		return 2
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: %s: %v\n", dir, err)
+		return 2
+	}
+	diags, err := analysis.Run(pkg, analysis.All(), true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -115,6 +115,29 @@ func TestE2EInfomapGoldenWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestE2ELintClean runs the repository's own analyzer suite (cmd/asalint)
+// over every package, exactly as the CI lint job does. The determinism and
+// cancellation contracts the goldens above observe at the process boundary
+// are proved structurally here: any new unsorted map iteration on a result
+// path, wall-clock read outside internal/clock, unjustified
+// context.Background(), untracked goroutine, or unhashed Options field
+// turns this test red.
+func TestE2ELintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/asalint", "./...")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("asalint reported findings or failed: %v\n%s", err, out.String())
+	}
+	if s := strings.TrimSpace(out.String()); s != "" {
+		t.Errorf("asalint produced unexpected output on a clean tree:\n%s", s)
+	}
+}
+
 // TestE2EQualityGolden scores the golden assignment against the planted
 // truth and byte-compares cmd/quality's stdout.
 func TestE2EQualityGolden(t *testing.T) {

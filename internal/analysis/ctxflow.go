@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Ctxflow enforces the cancellation contract introduced in PR 1 and promoted
+// to an API guarantee by the detection service:
+//
+//  1. context.Background() / context.TODO() are banned in library code.
+//     A library that mints its own root context detaches itself from the
+//     caller's cancellation; only package main (and tests) own roots.
+//     Deliberate non-context entry points (Run next to RunContext) carry a
+//     justified //asalint:ctxflow suppression.
+//
+//  2. In kernel/service packages, an exported function that takes a
+//     context.Context must remain preemptible: every blocking select it
+//     contains (a select without a default clause) must include a
+//     <-ctx.Done() case. A blocking select that cannot observe ctx is a
+//     stall that outlives the caller's deadline — the goroutine-leak shape
+//     both cancellation test suites in this repo exist to prevent.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "ban context.Background/TODO in library code; require <-ctx.Done() in " +
+		"blocking selects of exported context-taking kernel functions",
+	AppliesTo: PathNotIn("internal/clock", "internal/rng"),
+	Run:       runCtxflow,
+}
+
+// ctxflowKernelScope is the package set under the stricter select rule.
+var ctxflowKernelScope = PathIn(
+	"internal/infomap", "internal/pagerank", "internal/dist",
+	"internal/serve", "internal/sched", "internal/mapeq",
+)
+
+func runCtxflow(pass *Pass) error {
+	isMain := pass.PkgName == "main"
+	kernel := ctxflowKernelScope(pass.PkgPath)
+	for _, f := range pass.Files {
+		imports := packageNames(f)
+		ctxPkg := ""
+		for name, path := range imports {
+			if path == "context" {
+				ctxPkg = name
+			}
+		}
+		if ctxPkg == "" {
+			continue
+		}
+		if !isMain {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != ctxPkg || !refersToPackage(pass, id) {
+					return true
+				}
+				if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+					pass.Reportf(call.Pos(), "context.%s() mints a root context in library code, "+
+						"detaching this call tree from the caller's cancellation; accept a ctx parameter "+
+						"(or justify a deliberate non-context entry point with //asalint:ctxflow)", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		if !kernel {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxName := contextParamName(fd, ctxPkg)
+			if ctxName == "" || ctxName == "_" {
+				continue
+			}
+			checkSelectsObserveCtx(pass, fd, ctxName)
+		}
+	}
+	return nil
+}
+
+// contextParamName returns the name of fd's context.Context parameter, or "".
+func contextParamName(fd *ast.FuncDecl, ctxPkg string) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != ctxPkg || sel.Sel.Name != "Context" {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name
+		}
+	}
+	return ""
+}
+
+// checkSelectsObserveCtx flags blocking selects in fd's body that have no
+// <-ctx.Done() case.
+func checkSelectsObserveCtx(pass *Pass, fd *ast.FuncDecl, ctxName string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		blocking := true
+		observes := false
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				blocking = false // default clause: the select cannot stall
+				continue
+			}
+			if commObservesCtx(cc.Comm, ctxName) {
+				observes = true
+			}
+		}
+		if blocking && !observes {
+			pass.Reportf(sel.Pos(), "blocking select in exported %s has no <-%s.Done() case; "+
+				"cancellation cannot preempt this wait", fd.Name.Name, ctxName)
+		}
+		return true
+	})
+}
+
+// commObservesCtx reports whether a select communication receives from
+// ctxName.Done() (directly or under assignment).
+func commObservesCtx(stmt ast.Stmt, ctxName string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctxName && sel.Sel.Name == "Done" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

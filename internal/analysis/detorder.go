@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// Detorder flags `range` loops over maps whose bodies feed order-sensitive
+// sinks in determinism-critical packages. Go randomizes map iteration order
+// per run, so a map range that appends to a slice, sends on a channel,
+// writes to an output stream, or accumulates floating-point (or string)
+// state produces run-dependent results — exactly the class of bug that
+// breaks the repository's bit-identical-results contract (sweep results
+// across worker counts, asamapd byte-replay cache). Integer accumulation is
+// exempt: it is exact and commutative, so order cannot change the value.
+//
+// Fix by iterating sorted keys (graph.SortedKeys / graph.SortedKeysFunc),
+// or justify the site with //asalint:ordered when order provably does not
+// reach any output (e.g. the slice is sorted before use).
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Tag:  "ordered",
+	Doc: "flag map iteration feeding order-sensitive output or float accumulation " +
+		"in determinism-critical packages",
+	AppliesTo: PathIn(
+		"internal/infomap", "internal/sched", "internal/pagerank",
+		"internal/mapeq", "internal/graph", "internal/serve",
+		"internal/metrics", "internal/export", "internal/trace",
+	),
+	Run: runDetorder,
+}
+
+// writerMethods are method / function names treated as ordered output sinks.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true, "EncodeToken": true, "WriteAll": true,
+}
+
+func runDetorder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapExpr(pass, rs.X) {
+				return true
+			}
+			if sink, pos := findOrderSink(pass, rs.Body); sink != "" {
+				pass.Reportf(rs.Pos(), "iteration over map %s %s (map order is randomized per run); "+
+					"range over graph.SortedKeys instead, or justify with //asalint:ordered",
+					exprString(rs.X), sinkAt(pass, sink, pos))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func sinkAt(pass *Pass, sink string, pos token.Pos) string {
+	return fmt.Sprintf("%s at line %d", sink, pass.Fset.Position(pos).Line)
+}
+
+// isMapExpr reports whether e has map type. With partial type information
+// (fixture or type-error packages) an unresolvable expression is not
+// flagged — the analyzer under-approximates rather than guesses.
+func isMapExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// findOrderSink scans a map-range body for the first statement whose effect
+// depends on iteration order.
+func findOrderSink(pass *Pass, body *ast.BlockStmt) (string, token.Pos) {
+	var sink string
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink, pos = "sends on a channel", n.Pos()
+			return false
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltin(pass, fun) {
+					sink, pos = "appends to a slice", n.Pos()
+					return false
+				}
+			case *ast.SelectorExpr:
+				if writerMethods[fun.Sel.Name] {
+					sink, pos = "writes output via "+fun.Sel.Name, n.Pos()
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if s, p := accumulationSink(pass, n); s != "" {
+				sink, pos = s, p
+				return false
+			}
+		}
+		return true
+	})
+	return sink, pos
+}
+
+// isBuiltin reports whether id resolves to a universe-scope builtin (or is
+// unresolved, in which case the spelling "append" is trusted: shadowing the
+// builtin is vanishingly rare next to missing type info in fixtures).
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	if pass.Info == nil {
+		return true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// accumulationSink reports floating-point, complex, or string accumulation:
+// `x op= y` for op in {+ - * /}, or the spelled-out `x = x op y`. Those are
+// the non-associative/non-commutative updates whose final value depends on
+// the order the loop delivered the operands.
+func accumulationSink(pass *Pass, as *ast.AssignStmt) (string, token.Pos) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isOrderSensitiveKind(pass.TypeOf(as.Lhs[0])) {
+			return "accumulates " + kindName(pass.TypeOf(as.Lhs[0])) + " state with " + as.Tok.String(), as.Pos()
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return "", token.NoPos
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return "", token.NoPos
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return "", token.NoPos
+		}
+		if !isOrderSensitiveKind(pass.TypeOf(as.Lhs[0])) {
+			return "", token.NoPos
+		}
+		lhs := exprString(as.Lhs[0])
+		if exprString(bin.X) == lhs || exprString(bin.Y) == lhs {
+			return "accumulates " + kindName(pass.TypeOf(as.Lhs[0])) + " state with " + bin.Op.String(), as.Pos()
+		}
+	}
+	return "", token.NoPos
+}
+
+// isOrderSensitiveKind reports whether t is a floating-point, complex, or
+// string type — the kinds whose repeated binary updates are order-dependent.
+func isOrderSensitiveKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+func kindName(t types.Type) string {
+	if t == nil {
+		return "numeric"
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "numeric"
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0:
+		return "floating-point"
+	case b.Info()&types.IsComplex != 0:
+		return "complex"
+	case b.Info()&types.IsString != 0:
+		return "string"
+	}
+	return "numeric"
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Entropy forbids ambient sources of nondeterminism outside the injectable
+// abstractions: time.Now/time.Since must flow through internal/clock (so
+// tests can drive time and byte-replay determinism holds), and the global
+// math/rand generators are banned everywhere in favor of the seeded
+// internal/rng (constructing a locally seeded *rand.Rand via rand.New /
+// rand.NewSource is allowed — the seed makes it replayable).
+var Entropy = &Analyzer{
+	Name: "entropy",
+	Doc: "forbid time.Now/time.Since and global math/rand outside internal/clock " +
+		"and internal/rng",
+	AppliesTo: PathNotIn("internal/clock", "internal/rng"),
+	Run:       runEntropy,
+}
+
+// entropyTimeFuncs are the wall-clock reads that must come from a
+// clock.Clock.
+var entropyTimeFuncs = map[string]bool{"Now": true, "Since": true}
+
+// entropyRandOK are math/rand(/v2) package-level names that construct a
+// seeded local generator rather than touching the shared global one.
+var entropyRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runEntropy(pass *Pass) error {
+	// Library code only: package main (CLIs, examples) reports wall time to
+	// humans, which is presentation, not algorithm state.
+	if pass.PkgName == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		imports := packageNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := imports[id.Name]
+			if !ok || !refersToPackage(pass, id) {
+				return true
+			}
+			switch path {
+			case "time":
+				if entropyTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the ambient wall clock; "+
+						"inject a clock.Clock (internal/clock) so runs are replayable", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !entropyRandOK[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global math/rand.%s is seeded outside this repository's control; "+
+						"use the seeded internal/rng generators", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageNames maps each file-local package identifier to its import path.
+func packageNames(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := lastSlash(path); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		out[name] = path
+	}
+	return out
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// refersToPackage reports whether id resolves to a package name (and not a
+// local variable shadowing it). Unresolved identifiers are trusted to be the
+// import: that only happens in type-broken code or fixtures.
+func refersToPackage(pass *Pass, id *ast.Ident) bool {
+	if pass.Info == nil {
+		return true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.PkgName)
+	return ok
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Fingerprint guards the asamapd result-cache key. The service caches
+// detection results under (graph hash, Options.Fingerprint, seed) and
+// replays cached bytes verbatim; an Options field that changes results but
+// is hashed by neither Fingerprint nor named in the package's explicit
+// exclusion list would silently serve one configuration's bytes for
+// another's. The analyzer applies to any package declaring both a struct
+// type `Options` and a `Fingerprint` method/function, and requires every
+// Options field to be either
+//
+//   - mentioned (as a selector or identifier) inside Fingerprint's body, or
+//   - listed in the package-level `fingerprintExcluded` declaration, whose
+//     entries carry the justification for why the field cannot alter result
+//     bytes (e.g. Workers: results are bit-identical across worker counts).
+//
+// It also reports exclusion-list staleness: entries naming fields that no
+// longer exist, and entries for fields that Fingerprint now hashes anyway.
+var Fingerprint = &Analyzer{
+	Name:      "fingerprint",
+	Doc:       "every Options field must be hashed by Fingerprint or justified in fingerprintExcluded",
+	AppliesTo: func(pkgPath string) bool { return true },
+	Run:       runFingerprint,
+}
+
+// fingerprintExcludedName is the required name of the exclusion-list
+// declaration (a map[string]string of field name -> justification, or a
+// []string of field names).
+const fingerprintExcludedName = "fingerprintExcluded"
+
+func runFingerprint(pass *Pass) error {
+	var optionsStruct *ast.StructType
+	var fingerprintBody *ast.BlockStmt
+	excluded := map[string]ast.Expr{} // field name -> the listing expr (for positions)
+	haveExcluded := false
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "Options" {
+							if st, ok := s.Type.(*ast.StructType); ok {
+								optionsStruct = st
+							}
+						}
+					case *ast.ValueSpec:
+						for i, name := range s.Names {
+							if name.Name != fingerprintExcludedName || i >= len(s.Values) {
+								continue
+							}
+							haveExcluded = true
+							collectExcluded(s.Values[i], excluded)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "Fingerprint" && d.Body != nil {
+					fingerprintBody = d.Body
+				}
+			}
+		}
+	}
+	if optionsStruct == nil || fingerprintBody == nil {
+		return nil // not a fingerprinted-options package
+	}
+
+	mentioned := map[string]bool{}
+	ast.Inspect(fingerprintBody, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			mentioned[x.Sel.Name] = true
+		case *ast.Ident:
+			mentioned[x.Name] = true
+		}
+		return true
+	})
+
+	fields := map[string]bool{}
+	for _, field := range optionsStruct.Fields.List {
+		if len(field.Names) == 0 {
+			// Embedded field: its type name is the implicit field name.
+			if id := embeddedName(field.Type); id != nil {
+				fields[id.Name] = true
+				checkField(pass, id.Name, id, mentioned, excluded, haveExcluded)
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			fields[name.Name] = true
+			checkField(pass, name.Name, name, mentioned, excluded, haveExcluded)
+		}
+	}
+
+	for name, expr := range excluded {
+		if !fields[name] {
+			pass.Reportf(expr.Pos(), "%s lists %q, which is not a field of Options (stale exclusion)",
+				fingerprintExcludedName, name)
+		} else if mentioned[name] {
+			pass.Reportf(expr.Pos(), "Options.%s is both hashed in Fingerprint and listed in %s; "+
+				"drop one so the contract stays unambiguous", name, fingerprintExcludedName)
+		}
+	}
+	return nil
+}
+
+func checkField(pass *Pass, name string, pos ast.Node, mentioned map[string]bool, excluded map[string]ast.Expr, haveExcluded bool) {
+	if mentioned[name] {
+		return
+	}
+	if _, ok := excluded[name]; ok {
+		return
+	}
+	hint := "add it to Fingerprint or justify it in " + fingerprintExcludedName
+	if !haveExcluded {
+		hint = "add it to Fingerprint or declare a " + fingerprintExcludedName + " list justifying its exclusion"
+	}
+	pass.Reportf(pos.Pos(), "Options.%s is hashed by neither Fingerprint nor %s; "+
+		"the result-cache key would go stale silently — %s", name, fingerprintExcludedName, hint)
+}
+
+// collectExcluded extracts field names from the exclusion declaration:
+// map literal keys, or plain string elements of a slice literal.
+func collectExcluded(v ast.Expr, out map[string]ast.Expr) {
+	lit, ok := v.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		switch e := elt.(type) {
+		case *ast.KeyValueExpr:
+			if name, ok := stringLit(e.Key); ok {
+				out[name] = e.Key
+			}
+		default:
+			if name, ok := stringLit(e); ok {
+				out[name] = e
+			}
+		}
+	}
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// embeddedName resolves the identifier of an embedded field's type.
+func embeddedName(t ast.Expr) *ast.Ident {
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x
+	case *ast.StarExpr:
+		return embeddedName(x.X)
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goexit bans fire-and-forget goroutines in internal packages: every `go`
+// statement must be tied to a sync.WaitGroup, an errgroup.Group, or the
+// sched pool within the same enclosing function, so that no goroutine can
+// outlive the call that spawned it. Untracked goroutines are how parallel
+// community-detection codebases leak workers past cancellation — the
+// scheduler and queue shutdown tests only stay meaningful while this
+// invariant holds everywhere.
+//
+// Evidence accepted within the enclosing function declaration:
+//   - a WaitGroup Add/Done/Wait call (typed as sync.WaitGroup, or on a
+//     receiver/field whose printed type mentions WaitGroup)
+//   - an errgroup.Group Go/Wait call
+//
+// A goroutine that is genuinely structural (e.g. a daemon owned by a struct
+// whose Close joins it in another method) carries //asalint:goexit with the
+// name of the joining method as justification.
+var Goexit = &Analyzer{
+	Name: "goexit",
+	Doc:  "require every go statement to be joined via WaitGroup/errgroup in the same function",
+	// Internal packages only, per the contract; package main owns the
+	// process lifetime and may detach (e.g. signal handlers).
+	AppliesTo: func(pkgPath string) bool {
+		return !strings.Contains(pkgPath, "/") || strings.Contains(pkgPath, "/internal/")
+	},
+	Run: runGoexit,
+}
+
+func runGoexit(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var gos []*ast.GoStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					gos = append(gos, g)
+				}
+				return true
+			})
+			if len(gos) == 0 {
+				continue
+			}
+			if functionJoinsGoroutines(pass, fd) {
+				continue
+			}
+			for _, g := range gos {
+				pass.Reportf(g.Pos(), "go statement in %s is not tied to a sync.WaitGroup or errgroup "+
+					"in the same function; a fire-and-forget goroutine outlives cancellation "+
+					"(justify structural daemons with //asalint:goexit)", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// joinMethods are method names that constitute lifecycle evidence when
+// invoked on a WaitGroup or errgroup value.
+var joinMethods = map[string]bool{"Add": true, "Done": true, "Wait": true, "Go": true}
+
+// functionJoinsGoroutines reports whether fd contains a join-protocol call.
+func functionJoinsGoroutines(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !joinMethods[sel.Sel.Name] {
+			return true
+		}
+		if isJoinerType(pass, sel.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isJoinerType reports whether e is (or points to / embeds) a
+// sync.WaitGroup or errgroup.Group. When type information is missing, the
+// receiver's spelling is consulted: identifiers and selectors whose final
+// component mentions "wg", "waitgroup", "eg", or "group" are accepted.
+func isJoinerType(pass *Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); t != nil {
+		s := t.String()
+		if strings.Contains(s, "sync.WaitGroup") || strings.Contains(s, "errgroup.Group") {
+			return true
+		}
+		// Typed but something else entirely (e.g. testing.T's Done? no such
+		// method — but a queue's Add): not join evidence.
+		return false
+	}
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "wg") || strings.Contains(lower, "waitgroup") ||
+		lower == "eg" || strings.Contains(lower, "group")
+}

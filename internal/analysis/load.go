@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	// Path is the import path; for directories outside a module it is the
+	// package name.
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the absolute directory the files came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types is the type-checked package object; non-nil even when the
+	// package has type errors (go/types checks as much as it can).
+	Types *types.Package
+	// Info is the expression/object resolution for Files.
+	Info *types.Info
+	// TypeErrors collects type-checking problems. The analyzers run
+	// regardless — a half-typed package still supports most syntactic
+	// checks — but the driver surfaces them at high verbosity.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source with no toolchain
+// dependencies beyond GOROOT: standard-library imports resolve through the
+// stdlib source importer, and imports under the enclosing module path
+// resolve recursively within the module tree. The go.mod of this repository
+// declares no requirements, so those two cases are exhaustive; an import
+// that is neither is type-checked as missing (a recorded TypeError, not a
+// crash).
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath and ModuleRoot describe the enclosing module ("" outside
+	// one, e.g. for analysistest fixtures).
+	ModulePath string
+	ModuleRoot string
+
+	std    types.Importer
+	byPath map[string]*Package
+	byDir  map[string]*Package
+}
+
+// NewLoader returns a loader rooted at dir's enclosing module (found by
+// walking up to the nearest go.mod). dir may be anywhere; with no go.mod
+// above it, module-local resolution is disabled.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		byPath: make(map[string]*Package),
+		byDir:  make(map[string]*Package),
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			l.ModuleRoot = d
+			l.ModulePath = modulePathOf(string(data))
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	return l, nil
+}
+
+// modulePathOf extracts the module path from go.mod content.
+func modulePathOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// LoadDir loads the package in dir: every non-test .go file, parsed with
+// comments, type-checked tolerantly.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.byDir[abs]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+		}
+		return pkg, nil
+	}
+	l.byDir[abs] = nil // cycle marker
+	pkg, err := l.load(abs)
+	if err != nil {
+		delete(l.byDir, abs)
+		return nil, err
+	}
+	l.byDir[abs] = pkg
+	if pkg.Path != "" {
+		l.byPath[pkg.Path] = pkg
+	}
+	return pkg, nil
+}
+
+func (l *Loader) load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Path: l.importPathOf(dir),
+		Name: files[0].Name.Name,
+		Dir:  dir,
+		Fset: l.Fset,
+	}
+	if pkg.Path == "" {
+		pkg.Path = pkg.Name
+	}
+	pkg.Files = files
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         (*loaderImporter)(l),
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns an error on any problem, but the Error hook above makes
+	// it continue and record as much type information as it can; analyzers
+	// work off the partial Info.
+	tpkg, _ := conf.Check(pkg.Path, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importPathOf maps a directory under the module root to its import path.
+func (l *Loader) importPathOf(dir string) string {
+	if l.ModulePath == "" {
+		return ""
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// loaderImporter adapts Loader to types.Importer: module-local imports load
+// recursively from source, everything else falls through to the stdlib
+// source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if pkg, ok := l.byPath[path]; ok && pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		dir := l.ModuleRoot
+		if path != l.ModulePath {
+			dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: type-checking %s produced no package", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

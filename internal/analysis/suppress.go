@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one //asalint:<tag> comment awaiting a diagnostic to
+// silence.
+type suppression struct {
+	tag  string
+	pos  token.Position
+	used bool
+}
+
+// suppressions indexes the suppression comments of one package by file and
+// line.
+type suppressions struct {
+	all []*suppression
+	// byLine maps filename -> line -> suppressions written on that line.
+	byLine map[string]map[int][]*suppression
+}
+
+// collectSuppressions scans every comment in files for //asalint:<tag>
+// markers. The marker must start the comment; anything after the tag is the
+// human justification and is ignored by the machinery (but not by reviewers).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//asalint:")
+				if !ok {
+					continue
+				}
+				tag := text
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					tag = text[:i]
+				}
+				if tag == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				sp := &suppression{tag: tag, pos: pos}
+				s.all = append(s.all, sp)
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*suppression)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], sp)
+			}
+		}
+	}
+	return s
+}
+
+// silence reports whether a suppression for tag covers the diagnostic
+// position — same line (trailing comment) or the line directly above (a
+// full-line comment introducing the statement) — and marks it used.
+func (s *suppressions) silence(tag string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, sp := range lines[line] {
+			if sp.tag == tag {
+				sp.used = true
+				return true
+			}
+		}
+	}
+	return false
+}

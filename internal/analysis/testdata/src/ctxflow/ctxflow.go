@@ -1,0 +1,64 @@
+// Package ctxflow is an analysistest fixture for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// mintsRoot detaches itself from the caller's cancellation.
+func mintsRoot() context.Context {
+	return context.Background() // want `context.Background\(\) mints a root context`
+}
+
+// mintsTODO is the same defect spelled differently.
+func mintsTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) mints a root context`
+}
+
+// justifiedWrapper is the blessed non-context entry-point pattern.
+func justifiedWrapper() context.Context {
+	//asalint:ctxflow deliberate non-context convenience entry point
+	return context.Background()
+}
+
+// Blocked waits on a channel with no way for ctx to preempt it.
+func Blocked(ctx context.Context, ch chan int) int {
+	select { // want `blocking select in exported Blocked has no <-ctx.Done\(\) case`
+	case v := <-ch:
+		return v
+	}
+}
+
+// Preemptible observes ctx in the same select.
+func Preemptible(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// NonBlocking has a default clause, so it cannot stall.
+func NonBlocking(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// unexported functions are outside the exported-API contract.
+func unexportedBlocked(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// NoCtx takes no context, so the select rule does not apply.
+func NoCtx(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}

@@ -1,0 +1,110 @@
+// Package detorder is an analysistest fixture for the detorder analyzer.
+package detorder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// appendFromMap feeds map iteration order straight into a slice.
+func appendFromMap(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m appends to a slice`
+		out = append(out, k)
+	}
+	return out
+}
+
+// floatAccum accumulates floating-point state in map order.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floating-point state with \+=`
+		total += v
+	}
+	return total
+}
+
+// floatAccumSpelled uses the spelled-out x = x + v form.
+func floatAccumSpelled(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floating-point state with \+`
+		total = total + v
+	}
+	return total
+}
+
+// stringAccum builds a string in map order.
+func stringAccum(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `accumulates string state with \+=`
+		s += v
+	}
+	return s
+}
+
+// channelSend leaks map order through a channel.
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// writesOutput prints in map order.
+func writesOutput(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output via Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// writerMethod writes through a strings.Builder.
+func writerMethod(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `writes output via WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// intAccum is clean: integer addition is exact and commutative, so the
+// iteration order cannot change the result.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapToMap is clean: keyed writes into another map commute across keys.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRange is clean: ranging a slice is deterministic.
+func sliceRange(s []float64) float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// sortedEmission is the canonical fix: collect keys under a justified
+// suppression (the one pattern that must touch map order), sort, then emit
+// deterministically from the sorted slice.
+func sortedEmission(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { //asalint:ordered keys are sorted before any output below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

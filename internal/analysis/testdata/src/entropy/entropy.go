@@ -1,0 +1,38 @@
+// Package entropy is an analysistest fixture for the entropy analyzer.
+package entropy
+
+import (
+	"math/rand"
+	"time"
+	wall "time"
+)
+
+// readsClock reads ambient wall time two ways.
+func readsClock() time.Duration {
+	start := time.Now() // want `time.Now reads the ambient wall clock`
+	return time.Since(start) // want `time.Since reads the ambient wall clock`
+}
+
+// aliasedImport still resolves to the time package.
+func aliasedImport() wall.Time {
+	return wall.Now() // want `time.Now reads the ambient wall clock`
+}
+
+// sleeps is clean: time.Sleep does not read the clock into program state,
+// and constructing durations is pure arithmetic.
+func sleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+// globalRand draws from the shared, ambiently seeded generator.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+// localRand is clean: a locally constructed, explicitly seeded generator is
+// replayable, which is the property the contract protects.
+func localRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}

@@ -1,0 +1,26 @@
+// Package fingerprint is an analysistest fixture for the fingerprint
+// analyzer.
+package fingerprint
+
+import "fmt"
+
+// Options mirrors the shape of infomap.Options: some fields hashed, some
+// justified as excluded, one forgotten.
+type Options struct {
+	Seed    uint64
+	Damping float64
+	Workers int
+	Stale   int // want `Options.Stale is hashed by neither Fingerprint nor fingerprintExcluded`
+}
+
+// fingerprintExcluded is the explicit exclusion list the analyzer audits.
+var fingerprintExcluded = map[string]string{
+	"Workers": "results are bit-identical across worker counts",
+	"Gone":    "field was removed", // want `fingerprintExcluded lists "Gone", which is not a field of Options`
+	"Damping": "", // want `Options.Damping is both hashed in Fingerprint and listed in fingerprintExcluded`
+}
+
+// Fingerprint hashes the result-relevant fields.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%d/%g", o.Seed, o.Damping)
+}

@@ -1,0 +1,52 @@
+// Package goexit is an analysistest fixture for the goexit analyzer.
+package goexit
+
+import "sync"
+
+func work() {}
+
+// fireAndForget spawns a goroutine nothing ever joins.
+func fireAndForget() {
+	go work() // want `go statement in fireAndForget is not tied to a sync.WaitGroup`
+}
+
+// fireAndForgetClosure is the same defect with a closure.
+func fireAndForgetClosure() {
+	done := make(chan struct{})
+	go func() { // want `go statement in fireAndForgetClosure is not tied to a sync.WaitGroup`
+		defer close(done)
+		work()
+	}()
+}
+
+// joined ties the goroutine to a WaitGroup in the same function.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// pooled mirrors the sched.Pool shape: Add in the spawning function, Done
+// inside the worker body.
+type pooled struct {
+	done sync.WaitGroup
+}
+
+func (p *pooled) start(n int) {
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go p.loop()
+	}
+}
+
+func (p *pooled) loop() { defer p.done.Done(); work() }
+
+// structuralDaemon is joined elsewhere (a Close method) and says so.
+func structuralDaemon() {
+	//asalint:goexit joined by the owner's Close via the run channel
+	go work()
+}

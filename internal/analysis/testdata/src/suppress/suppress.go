@@ -1,0 +1,56 @@
+// Package suppress is an analysistest fixture for the suppression contract:
+// //asalint:<tag> silences exactly the diagnostics on its own line (or the
+// line below a full-line comment), and a suppression that silences nothing
+// is itself reported.
+package suppress
+
+// silencedSameLine carries a justified suppression on the offending line.
+func silencedSameLine(m map[string]int) []string {
+	var out []string
+	for k := range m { //asalint:ordered out is sorted by the caller before use
+		out = append(out, k)
+	}
+	return out
+}
+
+// silencedLineAbove uses a full-line comment directly above the statement.
+func silencedLineAbove(m map[string]int) []string {
+	var out []string
+	//asalint:ordered out is deduplicated into a set downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// silencesExactlyOneLine shows the suppression does not leak to other
+// statements: the second loop is still reported.
+func silencesExactlyOneLine(m map[string]int) ([]string, []string) {
+	var a, b []string
+	for k := range m { //asalint:ordered a is order-insensitive (set semantics)
+		a = append(a, k)
+	}
+	for k := range m { // want `iteration over map m appends to a slice`
+		b = append(b, k)
+	}
+	return a, b
+}
+
+// unusedSuppression sits on a clean line: integer accumulation is exempt,
+// so the comment silences nothing and is flagged as stale.
+func unusedSuppression(m map[string]int) int {
+	n := 0
+	for _, v := range m { //asalint:ordered stale justification // want `unused //asalint:ordered suppression: the line is clean`
+		n += v
+	}
+	return n
+}
+
+// unknownTag is caught before it can instill false confidence.
+func unknownTag(m map[string]int) int {
+	n := 0
+	for _, v := range m { //asalint:determinism typo of a real tag // want `unknown suppression tag "determinism"`
+		n += v
+	}
+	return n
+}

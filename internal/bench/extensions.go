@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/clock"
 	"github.com/asamap/asamap/internal/gen"
 	"github.com/asamap/asamap/internal/hashtab"
 	"github.com/asamap/asamap/internal/infomap"
@@ -74,22 +75,23 @@ func runSpGEMM(cfg Config, w io.Writer) error {
 	machine := perf.Baseline()
 	model := perf.DefaultModel(machine)
 
+	var clk clock.Clock = clock.Real{}
 	soft := hashtab.New(256)
-	t0 := time.Now()
+	t0 := clk.Now()
 	cSoft, err := spgemm.Multiply(a, b, soft)
 	if err != nil {
 		return err
 	}
-	softWall := time.Since(t0)
+	softWall := clk.Since(t0)
 	softCost := model.HashCost(soft.Stats())
 
 	cam := asa.MustNew(asa.DefaultConfig())
-	t0 = time.Now()
+	t0 = clk.Now()
 	cASA, err := spgemm.Multiply(a, b, cam)
 	if err != nil {
 		return err
 	}
-	asaWall := time.Since(t0)
+	asaWall := clk.Since(t0)
 	asaCost := model.ASACost(cam.Stats())
 
 	if cSoft.NNZ() != cASA.NNZ() {

@@ -131,7 +131,9 @@ type Result struct {
 
 // Run executes the simulated distributed Infomap.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	return RunContext(context.Background(), g, opt)
+	// Documented non-cancellable convenience entry point; callers who need
+	// preemption use RunContext.
+	return RunContext(context.Background(), g, opt) //asalint:ctxflow
 }
 
 // RunContext executes the simulated distributed Infomap under a context;

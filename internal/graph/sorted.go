@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. It is the repository's
+// blessed way to iterate a map wherever order can reach an output, a float
+// accumulation, or any other order-sensitive sink: Go randomizes map
+// iteration per run, and the detorder analyzer (cmd/asalint) rejects raw
+// map ranges at such sites. The key-collection loop below is the one place
+// that legitimately touches raw map order, because the sort erases it
+// before the keys escape.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //asalint:ordered keys are sorted before they escape
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc is SortedKeys for key types without a natural order (e.g.
+// the [2]uint32 cell coordinates of a contingency table); compare follows
+// the slices.SortFunc contract and must define a total order.
+func SortedKeysFunc[K comparable, V any](m map[K]V, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //asalint:ordered keys are sorted before they escape
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}

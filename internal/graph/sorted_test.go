@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"cmp"
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint32]float64{7: 0.5, 1: 0.25, 3: 0.125, 0: 0.0625}
+	want := []uint32{0, 1, 3, 7}
+	for i := 0; i < 16; i++ { // map order is randomized; the output must not be
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	m := map[[2]uint32]int{
+		{1, 2}: 1, {0, 9}: 2, {1, 0}: 3, {0, 0}: 4,
+	}
+	compare := func(a, b [2]uint32) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a[1], b[1])
+	}
+	want := [][2]uint32{{0, 0}, {0, 9}, {1, 0}, {1, 2}}
+	for i := 0; i < 16; i++ {
+		got := SortedKeysFunc(m, compare)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+		}
+	}
+}

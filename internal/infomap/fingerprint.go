@@ -11,17 +11,27 @@ import (
 // change without aliasing digests cached under an older scheme.
 const fingerprintVersion = "asamap-opt-v1\n"
 
+// fingerprintExcluded lists the Options fields that Fingerprint deliberately
+// does NOT hash, each with the reason it cannot change result bytes. The
+// fingerprint analyzer (cmd/asalint) checks this list against the struct:
+// a field that is neither hashed nor listed here fails the lint build.
+var fingerprintExcluded = map[string]string{
+	"Workers": "bit-identical results across any worker count for a fixed Seed (sweep scheduler contract)",
+	"Sched":   "bit-identical results across scheduling policies for a fixed Seed (sweep scheduler contract)",
+	"Clock":   "clock only feeds timing telemetry (Elapsed, SweepLog walls), never the partition",
+}
+
 // Fingerprint returns a stable hex digest over every option field that can
 // change the bytes of a result. Together with a graph's CanonicalHash and
 // the Seed it identifies a run completely, which is what makes detection
 // results cacheable: same (graph hash, fingerprint) in, same bytes out.
 //
-// Workers and Sched are deliberately excluded: the sweep scheduler
-// guarantees bit-identical results across any worker count and scheduling
-// policy for a fixed Seed (see internal/sched and the determinism tests), so
-// including them would only fragment the cache across execution
-// configurations that cannot disagree. The Seed IS included — it selects the
-// visitation order and therefore the result.
+// Every Options field must either be hashed here or appear in
+// fingerprintExcluded with a justification — the fingerprint analyzer
+// (cmd/asalint) enforces that invariant, so adding a result-relevant field
+// without extending the digest fails the lint build instead of silently
+// aliasing cache entries. The Seed IS included — it selects the visitation
+// order and therefore the result.
 func (o Options) Fingerprint() string {
 	h := sha256.New()
 	var buf [8]byte

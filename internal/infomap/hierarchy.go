@@ -73,7 +73,9 @@ type HierResult struct {
 // recursively splits each module into submodules while the hierarchical
 // codelength improves.
 func RunHierarchical(g *graph.Graph, opt Options) (*HierResult, error) {
-	return RunHierarchicalContext(context.Background(), g, opt)
+	// Documented non-cancellable convenience entry point; callers who need
+	// preemption use RunHierarchicalContext.
+	return RunHierarchicalContext(context.Background(), g, opt) //asalint:ctxflow
 }
 
 // RunHierarchicalContext is RunHierarchical under a context; the flat run

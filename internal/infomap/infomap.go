@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"time"
 
 	"github.com/asamap/asamap/internal/accum"
 	"github.com/asamap/asamap/internal/graph"
@@ -30,7 +29,9 @@ import (
 //
 // Steps 2–4 repeat on the contracted graph until no further compression.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	return RunContext(context.Background(), g, opt)
+	// Documented non-cancellable convenience entry point; callers who need
+	// preemption use RunContext.
+	return RunContext(context.Background(), g, opt) //asalint:ctxflow
 }
 
 // RunContext is Run under a context: cancellation is observed between
@@ -47,12 +48,13 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	clk := opt.clk()
+	start := clk.Now()
 	bd := trace.NewBreakdown()
 
 	// --- Kernel 1: PageRank / flow construction. ---
 	var baseFlow *mapeq.Flow
-	prStart := time.Now()
+	prStart := clk.Now()
 	if g.Directed() {
 		cfg := pagerank.DefaultConfig()
 		cfg.Damping = opt.Damping
@@ -76,7 +78,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 			return nil, err
 		}
 	}
-	bd.Add(trace.KernelPageRank, time.Since(prStart))
+	bd.Add(trace.KernelPageRank, clk.Since(prStart))
 
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
@@ -97,7 +99,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 		res.Membership[i] = uint32(i)
 	}
 	if g.N() == 0 {
-		res.Elapsed = time.Since(start)
+		res.Elapsed = clk.Since(start)
 		res.PerWorker = collectWorkerStats(workers)
 		return res, nil
 	}
@@ -153,7 +155,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 			}
 
 			// --- Kernel 3/4: contract modules to super nodes. ---
-			csStart := time.Now()
+			csStart := clk.Now()
 			k := mapeq.CompactMembership(membership)
 			if level == 0 {
 				copy(res.Membership, membership)
@@ -165,14 +167,14 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 			if (level > 0 && k == n) || k == 1 {
 				// No merging at a super level, or everything merged:
 				// the hierarchy has converged.
-				bd.Add(trace.KernelConvert2SuperNode, time.Since(csStart))
+				bd.Add(trace.KernelConvert2SuperNode, clk.Since(csStart))
 				break
 			}
 			flow, err = flow.ContractParallel(membership, k, pool)
 			if err != nil {
 				return nil, err
 			}
-			bd.Add(trace.KernelConvert2SuperNode, time.Since(csStart))
+			bd.Add(trace.KernelConvert2SuperNode, clk.Since(csStart))
 		}
 
 		// Evaluate the outer iteration's result from scratch on the base
@@ -219,7 +221,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 		w.snapshotStats()
 	}
 	res.PerWorker = collectWorkerStats(workers)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res, nil
 }
 
@@ -276,6 +278,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 	pool *sched.Pool, opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64, err error) {
 
 	n := flow.G.N()
+	clk := opt.clk()
 	// Active-vertex optimization (as in RelaxMap/HyPC-Map): only vertices
 	// whose neighborhood changed in the previous sweep are re-evaluated, so
 	// per-iteration work shrinks as the partition converges — the decreasing
@@ -311,7 +314,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		preStats, preWork := liveTotals(workers)
 
 		// --- Kernel 2: FindBestCommunity (parallel, read-only). ---
-		fbcStart := time.Now()
+		fbcStart := clk.Now()
 		bounds, mode := sweepBounds(flow, order, len(workers), opt.Sched)
 		nblocks := len(bounds) - 1
 		for len(props) < nblocks {
@@ -325,14 +328,14 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		if err != nil {
 			return sweeps, totalMoves, err
 		}
-		fbcWall := time.Since(fbcStart)
+		fbcWall := clk.Since(fbcStart)
 		bd.Add(trace.KernelFindBestCommunity, fbcWall)
 		bd.Observe(trace.GaugeSweepImbalance, ds.Imbalance)
 		bd.Observe(trace.GaugeSweepSteals, float64(ds.Steals))
 		res.Steals += ds.Steals
 
 		// --- Kernel 4: UpdateMembers (serial commit with re-check). ---
-		umStart := time.Now()
+		umStart := clk.Now()
 		for i := range active {
 			active[i] = false
 		}
@@ -375,7 +378,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		// Wash accumulated floating-point drift out of the incremental
 		// aggregates once per sweep.
 		st.Refresh()
-		commitWall := time.Since(umStart)
+		commitWall := clk.Since(umStart)
 		bd.Add(trace.KernelUpdateMembers, commitWall)
 
 		postStats, postWork := liveTotals(workers)

@@ -12,6 +12,7 @@ import (
 
 	"github.com/asamap/asamap/internal/accum"
 	"github.com/asamap/asamap/internal/asa"
+	"github.com/asamap/asamap/internal/clock"
 	"github.com/asamap/asamap/internal/hashtab"
 	"github.com/asamap/asamap/internal/perf"
 	"github.com/asamap/asamap/internal/sched"
@@ -123,6 +124,11 @@ type Options struct {
 	// Teleport selects recorded (paper/HyPC-Map) or unrecorded (modern
 	// Infomap default) teleportation for directed graphs.
 	Teleport Teleportation
+	// Clock supplies the wall-clock reads behind Elapsed and the per-sweep
+	// timings. Nil means the real clock; tests inject clock.Fake to make
+	// timing fields deterministic. Timings never influence the partition,
+	// so Clock is excluded from Fingerprint.
+	Clock clock.Clock
 }
 
 // DefaultOptions returns the standard configuration: Baseline accumulator,
@@ -139,6 +145,14 @@ func DefaultOptions() Options {
 		Seed:           1,
 		Damping:        0.85,
 	}
+}
+
+// clk returns the configured clock, defaulting to the real one.
+func (o Options) clk() clock.Clock {
+	if o.Clock == nil {
+		return clock.Real{}
+	}
+	return o.Clock
 }
 
 func (o Options) validate() error {

@@ -5,11 +5,23 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 
 	"github.com/asamap/asamap/internal/graph"
 )
+
+// cellCmp orders contingency-table cells lexicographically so that every
+// float reduction over a table visits cells in one canonical order — the
+// bit-determinism contract extends to quality metrics, which land in golden
+// e2e output and in asamapd's cached result bytes.
+func cellCmp(a, b [2]uint32) int {
+	if c := cmp.Compare(a[0], b[0]); c != 0 {
+		return c
+	}
+	return cmp.Compare(a[1], b[1])
+}
 
 // contingency builds the joint count table of two labelings over the same
 // vertex set, plus the marginals.
@@ -42,8 +54,8 @@ func NMI(a, b []uint32) (float64, error) {
 	}
 	entropy := func(m map[uint32]float64) float64 {
 		h := 0.0
-		for _, c := range m {
-			p := c / n
+		for _, k := range graph.SortedKeys(m) {
+			p := m[k] / n
 			h -= p * math.Log(p)
 		}
 		return h
@@ -53,9 +65,10 @@ func NMI(a, b []uint32) (float64, error) {
 		return 1, nil
 	}
 	mi := 0.0
-	for k, c := range joint {
+	for _, k := range graph.SortedKeysFunc(joint, cellCmp) {
 		// I(A;B) = Σ p(a,b)·log( p(a,b) / (p(a)p(b)) ), with
 		// p(a,b)/(p(a)p(b)) = c·n / (ma·mb).
+		c := joint[k]
 		mi += (c / n) * math.Log(c*n/(ma[k[0]]*mb[k[1]]))
 	}
 	if mi < 0 {
@@ -80,14 +93,14 @@ func ARI(a, b []uint32) (float64, error) {
 	}
 	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
 	sumJoint, sumA, sumB := 0.0, 0.0, 0.0
-	for _, c := range joint {
-		sumJoint += choose2(c)
+	for _, k := range graph.SortedKeysFunc(joint, cellCmp) {
+		sumJoint += choose2(joint[k])
 	}
-	for _, c := range ma {
-		sumA += choose2(c)
+	for _, k := range graph.SortedKeys(ma) {
+		sumA += choose2(ma[k])
 	}
-	for _, c := range mb {
-		sumB += choose2(c)
+	for _, k := range graph.SortedKeys(mb) {
+		sumB += choose2(mb[k])
 	}
 	total := choose2(n)
 	expected := sumA * sumB / total
@@ -111,15 +124,15 @@ func PairwiseF1(pred, truth []uint32) (precision, recall, f1 float64, err error)
 	}
 	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
 	tp := 0.0
-	for _, c := range joint {
-		tp += choose2(c)
+	for _, k := range graph.SortedKeysFunc(joint, cellCmp) {
+		tp += choose2(joint[k])
 	}
 	predPos, truthPos := 0.0, 0.0
-	for _, c := range mp {
-		predPos += choose2(c)
+	for _, k := range graph.SortedKeys(mp) {
+		predPos += choose2(mp[k])
 	}
-	for _, c := range mt {
-		truthPos += choose2(c)
+	for _, k := range graph.SortedKeys(mt) {
+		truthPos += choose2(mt[k])
 	}
 	if predPos == 0 {
 		precision = 1
@@ -174,6 +187,28 @@ func Conductance(g *graph.Graph, membership []uint32) ([]float64, error) {
 		out[c] = cut[c] / denom
 	}
 	return out, nil
+}
+
+// SizeHistogram returns the community-size histogram of a labeling: sizes
+// lists each distinct community size in ascending order and counts[i] is
+// how many communities have sizes[i] members. Emission is deterministic by
+// construction (sorted keys), so the histogram can feed reports and cached
+// service responses directly.
+func SizeHistogram(membership []uint32) (sizes []int, counts []int) {
+	perLabel := make(map[uint32]int)
+	for _, m := range membership {
+		perLabel[m]++
+	}
+	bySize := make(map[int]int) // keyed int increments commute, raw range is fine
+	for _, c := range perLabel {
+		bySize[c]++
+	}
+	sizes = graph.SortedKeys(bySize)
+	counts = make([]int, len(sizes))
+	for i, s := range sizes {
+		counts[i] = bySize[s]
+	}
+	return sizes, counts
 }
 
 // MeanConductance averages Conductance over clusters with nonzero volume.

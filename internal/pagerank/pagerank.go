@@ -76,7 +76,9 @@ func Undirected(g *graph.Graph) *Result {
 // undirected graphs it short-circuits to the closed form. The returned ranks
 // always sum to 1 (within floating-point error).
 func Compute(g *graph.Graph, cfg Config) (*Result, error) {
-	return ComputeContext(context.Background(), g, cfg)
+	// Documented non-cancellable convenience entry point; callers who need
+	// preemption use ComputeContext.
+	return ComputeContext(context.Background(), g, cfg) //asalint:ctxflow
 }
 
 // ComputeContext is Compute under a context: cancellation is observed before

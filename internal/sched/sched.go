@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/asamap/asamap/internal/clock"
 )
 
 // Mode selects the scheduling policy of one Dispatch.
@@ -97,6 +99,7 @@ func (s Stats) BusyTotal() time.Duration {
 // Dispatch then runs inline on the caller.
 type Pool struct {
 	n     int
+	clk   clock.Clock
 	chans []chan *dispatch
 	done  sync.WaitGroup
 	once  sync.Once
@@ -107,7 +110,7 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{n: n}
+	p := &Pool{n: n, clk: clock.Real{}}
 	if n == 1 {
 		return p
 	}
@@ -152,6 +155,7 @@ type dispatch struct {
 	bounds []int
 	fn     BlockFunc
 	mode   Mode
+	clk    clock.Clock
 
 	spanLo, spanHi []int    // per worker: initial block span [lo, hi)
 	cursors        []cursor // per worker: atomic next-block grab counter
@@ -215,9 +219,9 @@ func (d *dispatch) runBlock(id, b int, st *WorkerStat, stolen bool) {
 	if d.failed.Load() {
 		return
 	}
-	t0 := time.Now()
+	t0 := d.clk.Now()
 	err := d.fn(id, b, d.bounds[b], d.bounds[b+1])
-	st.Busy += time.Since(t0)
+	st.Busy += d.clk.Since(t0)
 	st.Blocks++
 	if stolen {
 		st.Steals++
@@ -243,6 +247,7 @@ func (p *Pool) Dispatch(bounds []int, mode Mode, fn BlockFunc) (Stats, error) {
 		bounds:  bounds,
 		fn:      fn,
 		mode:    mode,
+		clk:     p.clk,
 		spanLo:  make([]int, p.n),
 		spanHi:  make([]int, p.n),
 		cursors: make([]cursor, p.n),
@@ -253,7 +258,7 @@ func (p *Pool) Dispatch(bounds []int, mode Mode, fn BlockFunc) (Stats, error) {
 		d.spanHi[w] = (w + 1) * nb / p.n
 		d.cursors[w].next.Store(int64(d.spanLo[w]))
 	}
-	start := time.Now()
+	start := p.clk.Now()
 	if p.chans == nil {
 		// One worker: run inline on the caller, no goroutine round trip.
 		d.runWorker(0)
@@ -264,7 +269,7 @@ func (p *Pool) Dispatch(bounds []int, mode Mode, fn BlockFunc) (Stats, error) {
 		}
 		d.wg.Wait()
 	}
-	stats := Stats{PerWorker: d.stats, Wall: time.Since(start)}
+	stats := Stats{PerWorker: d.stats, Wall: p.clk.Since(start)}
 	var max, sum time.Duration
 	for _, w := range d.stats {
 		stats.Blocks += w.Blocks

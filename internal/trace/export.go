@@ -3,9 +3,10 @@ package trace
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"time"
+
+	"github.com/asamap/asamap/internal/graph"
 )
 
 // SpanSnapshot is one kernel's accumulated duration and invocation count.
@@ -48,15 +49,14 @@ func (b *Breakdown) Snapshot() Snapshot {
 		Spans:  make([]SpanSnapshot, 0, len(b.spans)),
 		Gauges: make([]GaugeSnapshot, 0, len(b.gauges)),
 	}
-	for name, d := range b.spans {
-		s.Spans = append(s.Spans, SpanSnapshot{Name: name, Total: d, Count: b.counts[name]})
+	for _, name := range graph.SortedKeys(b.spans) {
+		s.Spans = append(s.Spans, SpanSnapshot{Name: name, Total: b.spans[name], Count: b.counts[name]})
 	}
-	for name, g := range b.gauges {
+	for _, name := range graph.SortedKeys(b.gauges) {
+		g := b.gauges[name]
 		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Sum: g.sum, Count: g.count})
 	}
 	b.mu.Unlock()
-	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	return s
 }
 

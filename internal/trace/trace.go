@@ -4,11 +4,19 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/graph"
 )
+
+// walltime is the clock behind Time. All wall-clock reads in this
+// repository flow through internal/clock (the entropy analyzer enforces
+// it); a package variable keeps Breakdown's zero-setup ergonomics while
+// leaving the read injectable.
+var walltime clock.Clock = clock.Real{}
 
 // Kernel names matching the paper's decomposition of HyPC-Map.
 const (
@@ -62,9 +70,9 @@ func (b *Breakdown) Add(name string, d time.Duration) {
 
 // Time runs fn and records its duration under name.
 func (b *Breakdown) Time(name string, fn func()) {
-	start := time.Now()
+	start := walltime.Now()
 	fn()
-	b.Add(name, time.Since(start))
+	b.Add(name, walltime.Since(start))
 }
 
 // Observe records one sample of the named gauge. Gauges are dimensionless
@@ -101,12 +109,7 @@ func (b *Breakdown) Samples(name string) uint64 {
 func (b *Breakdown) GaugeNames() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	names := make([]string, 0, len(b.gauges))
-	for n := range b.gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return graph.SortedKeys(b.gauges)
 }
 
 // Get returns the accumulated duration for name.
@@ -147,12 +150,7 @@ func (b *Breakdown) Share(name string) float64 {
 func (b *Breakdown) Names() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	names := make([]string, 0, len(b.spans))
-	for n := range b.spans {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return graph.SortedKeys(b.spans)
 }
 
 // Merge adds all of other's spans into b.
@@ -177,7 +175,9 @@ func (b *Breakdown) Merge(other *Breakdown) {
 		b.spans[k] += v
 		b.counts[k] += counts[k]
 	}
-	for k, v := range gauges {
+	// Per-key merge: each key's sum/count pair is read-modify-written
+	// independently, so iteration order cannot change any final value.
+	for k, v := range gauges { //asalint:ordered independent keyed merges commute
 		g := b.gauges[k]
 		g.sum += v.sum
 		g.count += v.count
