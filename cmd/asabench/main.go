@@ -28,6 +28,7 @@ func main() {
 	scale := flag.Int("scale", 0, "override the replica scale divisor (0 = per-network default)")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for multi-core experiments")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON artifact here (experiments that support it, e.g. 'sched')")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON artifact here (experiments that support it, e.g. 'sched')")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +45,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ScaleOverride = *scale
 	cfg.JSONPath = *jsonPath
+	cfg.TraceOut = *traceOut
 	if *workers != "" {
 		var ws []int
 		for _, f := range strings.Split(*workers, ",") {

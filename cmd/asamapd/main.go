@@ -14,8 +14,9 @@
 //	POST /v1/graphs[?directed=true]   upload an edge list, returns its hash
 //	GET  /v1/graphs/{hash}            registered graph shape
 //	POST /v1/detect                   {"graph":"<hash>","options":{...}}
-//	GET  /healthz                     liveness + registry/queue/cache stats
-//	GET  /metrics                     Prometheus text format
+//	GET  /healthz                     liveness + build info + registry/queue/cache stats
+//	GET  /metrics                     Prometheus text format (latency histograms, accumulator counters)
+//	GET  /debug/trace[?n=N]           last-N completed spans from the trace ring
 //	GET  /debug/pprof/                Go profiling
 package main
 
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/serve"
 )
 
@@ -43,6 +45,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock bound (0 = unbounded)")
 	preload := flag.String("preload", "", "edge-list file to register at startup (optional)")
 	preloadDirected := flag.Bool("preload-directed", false, "treat the preloaded edge list as directed")
+	logLevel := flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+	traceRing := flag.Int("trace-ring", 4096, "completed spans retained for /debug/trace (0 = default)")
 	flag.Parse()
 
 	cfg := serve.DefaultConfig()
@@ -51,6 +55,8 @@ func main() {
 	cfg.CacheEntries = *cacheEntries
 	cfg.MaxUploadBytes = *maxUpload
 	cfg.JobTimeout = *jobTimeout
+	cfg.Logger = obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	cfg.TraceRing = *traceRing
 	srv := serve.New(cfg)
 	defer srv.Close()
 

@@ -28,6 +28,7 @@ import (
 	"github.com/asamap/asamap/internal/graph"
 	"github.com/asamap/asamap/internal/infomap"
 	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/pagerank"
 	"github.com/asamap/asamap/internal/perf"
 )
@@ -48,6 +49,7 @@ func main() {
 	gexf := flag.String("gexf", "", "write the community-colored graph as GEXF (Gephi) to this path")
 	dot := flag.String("dot", "", "write the community-colored graph as Graphviz DOT to this path")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto) to this path")
 	distRanks := flag.Int("dist-ranks", 0, "run the simulated distributed substrate on this many ranks instead of the shared-memory path (0 = off)")
 	faultDrop := flag.Float64("fault-drop", 0, "distributed: per-message delta-batch drop probability")
 	faultDup := flag.Float64("fault-dup", 0, "distributed: per-message duplication probability")
@@ -126,14 +128,39 @@ func main() {
 		return
 	}
 
+	// Span tracing: a nil tracer (flag unset) makes the root span nil and
+	// every span operation inside the run a no-op.
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if *traceOut != "" {
+		tracer = obs.New(obs.Config{Seed: *seed})
+		rootSpan = tracer.Begin("infomap")
+		opt.Trace = rootSpan
+	}
+
 	res, err := infomap.RunContext(ctx, g, opt)
 	if err != nil {
 		fatal(err)
 	}
+	rootSpan.End()
 
 	fmt.Printf("graph: %d vertices, %d arcs (%s)\n", g.N(), g.M(), direction(g))
 	fmt.Printf("result: %s\n", res)
 	fmt.Printf("elapsed: %v (backend %s, %d workers)\n", res.Elapsed, opt.Kind, opt.Workers)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
 
 	if *hierarchical || *tree != "" {
 		hres, err := infomap.RunHierarchicalContext(ctx, g, opt)

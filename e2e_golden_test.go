@@ -2,6 +2,7 @@ package asamap_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -135,6 +136,91 @@ func TestE2ELintClean(t *testing.T) {
 	}
 	if s := strings.TrimSpace(out.String()); s != "" {
 		t.Errorf("asalint produced unexpected output on a clean tree:\n%s", s)
+	}
+}
+
+// TestE2ETrace runs cmd/infomap with -trace-out and validates the Chrome
+// trace-event artifact: well-formed JSON, complete ("X") events with the
+// expected kernel names, and an infomap → run → level → sweep →
+// FindBestCommunity nesting reachable through the parent links in args.
+// The normalized stdout must still match the golden — tracing cannot change
+// the detection output.
+func TestE2ETrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out := runCLI(t, "infomap",
+		"-in", filepath.Join("testdata", "golden", "lfr_small.txt"),
+		"-seed", "1", "-workers", "2", "-trace-out", traceFile)
+
+	got := normalizeStdout(out)
+	want := readGolden(t, "lfr_small.infomap.stdout.golden")
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		t.Errorf("tracing changed the detection stdout:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace-out is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("-trace-out holds no trace events")
+	}
+
+	type span struct{ name, parent string }
+	byID := map[string]span{}
+	count := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" {
+			t.Fatalf("event %q has phase %q, want complete (X)", ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %q has negative ts/dur: %v/%v", ev.Name, ev.TS, ev.Dur)
+		}
+		id, _ := ev.Args["id"].(string)
+		parent, _ := ev.Args["parent"].(string)
+		if id == "" {
+			t.Fatalf("event %q carries no span id in args", ev.Name)
+		}
+		byID[id] = span{name: ev.Name, parent: parent}
+		count[ev.Name]++
+	}
+	for _, name := range []string{"infomap", "run", "level", "sweep",
+		"PageRank", "FindBestCommunity", "UpdateMembers"} {
+		if count[name] == 0 {
+			t.Errorf("trace has no %q span (have %v)", name, count)
+		}
+	}
+	// Walk one FindBestCommunity span to its root through parent links.
+	for id, sp := range byID {
+		if sp.name != "FindBestCommunity" {
+			continue
+		}
+		var chain []string
+		for cur, ok := sp, true; ok; cur, ok = byID[cur.parent] {
+			chain = append(chain, cur.name)
+			if cur.parent == "" {
+				break
+			}
+		}
+		wantChain := []string{"FindBestCommunity", "sweep", "level", "run", "infomap"}
+		if strings.Join(chain, "/") != strings.Join(wantChain, "/") {
+			t.Fatalf("span %s ancestry = %v, want %v", id, chain, wantChain)
+		}
+		break
 	}
 }
 

@@ -30,6 +30,11 @@ type Config struct {
 	// JSONPath, when non-empty, is where experiments that emit a
 	// machine-readable artifact (currently "sched") write their JSON.
 	JSONPath string
+	// TraceOut, when non-empty, is where experiments that emit a Chrome
+	// trace-event artifact (currently "sched") write it. One file holds a
+	// span tree per (workers, policy) run, viewable in chrome://tracing or
+	// Perfetto.
+	TraceOut string
 }
 
 // DefaultConfig returns the full-size configuration.

@@ -9,6 +9,7 @@ import (
 
 	"github.com/asamap/asamap/internal/gen"
 	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/rng"
 	"github.com/asamap/asamap/internal/trace"
 )
@@ -70,13 +71,24 @@ func runSched(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%8s  %8s  %12s  %12s  %10s  %8s  %12s  %s\n",
 		"workers", "policy", "sweep-wall", "commit-wall", "imbalance", "steals", "codelength", "identical")
 
+	var tracer *obs.Tracer
+	if cfg.TraceOut != "" {
+		tracer = obs.New(obs.Config{Seed: cfg.Seed})
+	}
 	var ref *infomap.Result
 	run := func(workers int, policy infomap.SchedPolicy) (*infomap.Result, error) {
 		opt := infomap.DefaultOptions()
 		opt.Workers = workers
 		opt.Seed = cfg.Seed
 		opt.Sched = policy
-		return infomap.Run(g, opt)
+		var sp *obs.Span
+		if tracer != nil {
+			sp = tracer.Begin(fmt.Sprintf("sched workers=%d policy=%s", workers, policy))
+			opt.Trace = sp
+		}
+		res, err := infomap.Run(g, opt)
+		sp.End()
+		return res, err
 	}
 	policies := []infomap.SchedPolicy{infomap.SchedStatic, infomap.SchedSteal}
 	staticSweep := map[int]float64{}
@@ -128,6 +140,20 @@ func runSched(cfg Config, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	if cfg.TraceOut != "" {
+		f, err := os.Create(cfg.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.TraceOut)
 	}
 	return nil
 }

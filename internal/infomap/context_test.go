@@ -131,7 +131,7 @@ func TestWorkerPanicBecomesError(t *testing.T) {
 		}
 		pool := sched.NewPool(nWorkers)
 		_, _, err := optimizeLevel(context.Background(), st, flow, workers, pool,
-			DefaultOptions(), newRand(1), trace.NewBreakdown(), 0, &Result{})
+			DefaultOptions(), newRand(1), trace.NewBreakdown(), 0, &Result{}, nil)
 		pool.Close()
 		if err == nil {
 			t.Fatalf("workers=%d: injected panic not surfaced", nWorkers)

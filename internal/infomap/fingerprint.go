@@ -19,6 +19,7 @@ var fingerprintExcluded = map[string]string{
 	"Workers": "bit-identical results across any worker count for a fixed Seed (sweep scheduler contract)",
 	"Sched":   "bit-identical results across scheduling policies for a fixed Seed (sweep scheduler contract)",
 	"Clock":   "clock only feeds timing telemetry (Elapsed, SweepLog walls), never the partition",
+	"Trace":   "span tracing is write-only telemetry (observed durations and event counts), never an input to the partition",
 }
 
 // Fingerprint returns a stable hex digest over every option field that can

@@ -8,6 +8,7 @@ import (
 	"github.com/asamap/asamap/internal/accum"
 	"github.com/asamap/asamap/internal/graph"
 	"github.com/asamap/asamap/internal/mapeq"
+	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/pagerank"
 	"github.com/asamap/asamap/internal/perf"
 	"github.com/asamap/asamap/internal/rng"
@@ -52,8 +53,23 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	start := clk.Now()
 	bd := trace.NewBreakdown()
 
+	// Span tree root of this run. opt.Trace nil makes every span below nil,
+	// and nil spans absorb all calls, so the untraced path stays branch-free.
+	// Worker count and scheduling policy never change result bytes, so they
+	// are volatile attributes — excluded from the canonical tree that the
+	// determinism tests compare across schedules.
+	run := opt.Trace.Child("run")
+	run.SetUint("seed", opt.Seed)
+	run.SetAttr("kind", opt.Kind.String())
+	run.SetAttr("teleport", opt.Teleport.String())
+	run.SetUint("vertices", uint64(g.N()))
+	run.SetVolatileUint("workers", uint64(opt.Workers))
+	run.SetVolatileAttr("sched", opt.Sched.String())
+	defer run.End()
+
 	// --- Kernel 1: PageRank / flow construction. ---
 	var baseFlow *mapeq.Flow
+	prSpan := run.Child(trace.KernelPageRank)
 	prStart := clk.Now()
 	if g.Directed() {
 		cfg := pagerank.DefaultConfig()
@@ -79,6 +95,7 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 		}
 	}
 	bd.Add(trace.KernelPageRank, clk.Since(prStart))
+	prSpan.End()
 
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
@@ -147,14 +164,23 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 			st.OverrideNodeTerm(leafNodeTerm)
 			res.Levels++
 
-			sweeps, moves, err := optimizeLevel(ctx, st, flow, workers, pool, opt, r, bd, level, res)
+			lv := run.Child("level")
+			lv.SetUint("outer", uint64(outer))
+			lv.SetUint("level", uint64(level))
+			lv.SetUint("vertices", uint64(n))
+
+			sweeps, moves, err := optimizeLevel(ctx, st, flow, workers, pool, opt, r, bd, level, res, lv)
 			res.Sweeps += sweeps
 			res.Moves += moves
+			lv.SetUint("sweeps", uint64(sweeps))
+			lv.SetUint("moves", moves)
 			if err != nil {
+				lv.End()
 				return nil, err
 			}
 
 			// --- Kernel 3/4: contract modules to super nodes. ---
+			cs := lv.Child(trace.KernelConvert2SuperNode)
 			csStart := clk.Now()
 			k := mapeq.CompactMembership(membership)
 			if level == 0 {
@@ -168,6 +194,9 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 				// No merging at a super level, or everything merged:
 				// the hierarchy has converged.
 				bd.Add(trace.KernelConvert2SuperNode, clk.Since(csStart))
+				cs.SetUint("modules", uint64(k))
+				cs.End()
+				lv.End()
 				break
 			}
 			flow, err = flow.ContractParallel(membership, k, pool)
@@ -175,6 +204,9 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 				return nil, err
 			}
 			bd.Add(trace.KernelConvert2SuperNode, clk.Since(csStart))
+			cs.SetUint("modules", uint64(k))
+			cs.End()
+			lv.End()
 		}
 
 		// Evaluate the outer iteration's result from scratch on the base
@@ -222,7 +254,39 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	}
 	res.PerWorker = collectWorkerStats(workers)
 	res.Elapsed = clk.Since(start)
+
+	// Fold the run-total accumulator telemetry into the breakdown's event
+	// counters, where /metrics and run artifacts pick it up.
+	addAccumEvents(bd, "", res.TotalStats())
+	run.SetUint("modules", uint64(res.NumModules))
+	run.SetFloat("codelength", res.Codelength)
+	run.SetUint("levels", uint64(res.Levels))
+	run.SetUint("sweeps", uint64(res.Sweeps))
+	run.SetUint("moves", res.Moves)
 	return res, nil
+}
+
+// addAccumEvents records every accum.Stats counter as a named Breakdown
+// event under the given prefix ("" for run totals, "Level0/" for per-level
+// folds). All these totals are sums over per-vertex accumulator sessions and
+// are therefore identical across worker counts and steal schedules — except
+// ChainHops and Rehashes, which depend on each worker's private table-growth
+// history; they are exported for capacity tuning but must never enter a
+// determinism comparison.
+func addAccumEvents(bd *trace.Breakdown, prefix string, s accum.Stats) {
+	bd.AddEvents(prefix+"AccumAccumulates", s.Accumulates)
+	bd.AddEvents(prefix+"AccumLookups", s.Lookups)
+	bd.AddEvents(prefix+"AccumHits", s.Hits)
+	bd.AddEvents(prefix+"AccumMisses", s.Misses)
+	bd.AddEvents(prefix+"AccumChainHops", s.ChainHops)
+	bd.AddEvents(prefix+"AccumInserts", s.Inserts)
+	bd.AddEvents(prefix+"AccumRehashes", s.Rehashes)
+	bd.AddEvents(prefix+"AccumEvictions", s.Evictions)
+	bd.AddEvents(prefix+"AccumOverflowKV", s.OverflowKV)
+	bd.AddEvents(prefix+"AccumMergedKV", s.MergedKV)
+	bd.AddEvents(prefix+"AccumGathers", s.Gathers)
+	bd.AddEvents(prefix+"AccumGatheredKV", s.GatheredKV)
+	bd.AddEvents(prefix+"AccumResets", s.Resets)
 }
 
 func collectWorkerStats(workers []*worker) []WorkerStats {
@@ -275,7 +339,8 @@ func sweepBounds(flow *mapeq.Flow, order []uint32, workers int, policy SchedPoli
 // error after all workers of the sweep have finished (so no goroutine
 // outlives the call).
 func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, workers []*worker,
-	pool *sched.Pool, opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result) (sweeps int, totalMoves uint64, err error) {
+	pool *sched.Pool, opt Options, r *rng.RNG, bd *trace.Breakdown, level int, res *Result,
+	lvSpan *obs.Span) (sweeps int, totalMoves uint64, err error) {
 
 	n := flow.G.N()
 	clk := opt.clk()
@@ -296,6 +361,10 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 	// counts and steal schedules.
 	var props [][]proposal
 
+	// Per-level accumulator event totals, folded into the breakdown's named
+	// event counters when the level finishes.
+	var levelStats accum.Stats
+
 	prevL := st.Codelength()
 	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
 		if err := ctx.Err(); err != nil {
@@ -313,19 +382,27 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		r.ShuffleUint32(order)
 		preStats, preWork := liveTotals(workers)
 
+		sw := lvSpan.Child("sweep")
+		sw.SetUint("sweep", uint64(sweep))
+		sw.SetUint("active", uint64(len(order)))
+
 		// --- Kernel 2: FindBestCommunity (parallel, read-only). ---
+		fbc := sw.Child(trace.KernelFindBestCommunity)
 		fbcStart := clk.Now()
 		bounds, mode := sweepBounds(flow, order, len(workers), opt.Sched)
 		nblocks := len(bounds) - 1
 		for len(props) < nblocks {
 			props = append(props, nil)
 		}
-		ds, err := pool.Dispatch(bounds, mode, func(wid, blk, lo, hi int) error {
+		ds, err := pool.DispatchTraced(bounds, mode, func(wid, blk, lo, hi int) error {
 			var perr error
 			props[blk], perr = safeEvaluateBlock(workers[wid], st, flow, order, lo, hi, props[blk][:0])
 			return perr
-		})
+		}, fbc)
+		fbc.SetVolatileUint("blocks", uint64(nblocks))
+		fbc.End()
 		if err != nil {
+			sw.End()
 			return sweeps, totalMoves, err
 		}
 		fbcWall := clk.Since(fbcStart)
@@ -335,6 +412,7 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		res.Steals += ds.Steals
 
 		// --- Kernel 4: UpdateMembers (serial commit with re-check). ---
+		um := sw.Child(trace.KernelUpdateMembers)
 		umStart := clk.Now()
 		for i := range active {
 			active[i] = false
@@ -380,19 +458,37 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		st.Refresh()
 		commitWall := clk.Since(umStart)
 		bd.Add(trace.KernelUpdateMembers, commitWall)
+		um.SetUint("moves", moves)
+		um.End()
 
 		postStats, postWork := liveTotals(workers)
+		sweepStats := postStats.Sub(preStats)
+		levelStats.Add(sweepStats)
 		res.SweepLog = append(res.SweepLog, SweepStat{
 			Level:      level,
 			Sweep:      sweep,
 			Wall:       fbcWall,
 			WallCommit: commitWall,
-			Stats:      postStats.Sub(preStats),
+			Stats:      sweepStats,
 			Work:       postWork.Sub(preWork),
 			Sched:      ds,
 			Codelength: st.Codelength(),
 			Moves:      moves,
 		})
+
+		// The four CAM counters of the paper's evaluation are sums over
+		// per-vertex accumulator sessions, so they are schedule-invariant and
+		// safe as deterministic attributes; dispatch shape (steals,
+		// imbalance) is volatile by construction.
+		sw.SetUint("cam_hits", sweepStats.Hits)
+		sw.SetUint("cam_misses", sweepStats.Misses)
+		sw.SetUint("cam_evictions", sweepStats.Evictions)
+		sw.SetUint("cam_overflow_kv", sweepStats.OverflowKV)
+		sw.SetUint("moves", moves)
+		sw.SetFloat("codelength", st.Codelength())
+		sw.SetVolatileUint("steals", ds.Steals)
+		sw.SetVolatileFloat("imbalance", ds.Imbalance)
+		sw.End()
 
 		sweeps++
 		totalMoves += moves
@@ -402,6 +498,12 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		}
 		prevL = l
 	}
+	addAccumEvents(bd, fmt.Sprintf("Level%d/", level), accum.Stats{
+		Hits:       levelStats.Hits,
+		Misses:     levelStats.Misses,
+		Evictions:  levelStats.Evictions,
+		OverflowKV: levelStats.OverflowKV,
+	})
 	return sweeps, totalMoves, nil
 }
 

@@ -1,0 +1,187 @@
+package infomap
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/asamap/asamap/internal/gen"
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// traceGraph builds a small SBM with clear communities for trace tests.
+func traceGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.SBM(gen.SBMParams{Sizes: []int{30, 30, 30}, PIn: 0.4, POut: 0.02}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runTraced runs detection under a fresh tracer and returns the canonical
+// span-tree JSON plus the result.
+func runTraced(t *testing.T, g *graph.Graph, workers int, policy SchedPolicy) ([]byte, *Result) {
+	t.Helper()
+	tr := obs.New(obs.Config{Seed: 42})
+	root := tr.Begin("detect")
+	opt := DefaultOptions()
+	opt.Kind = ASA
+	opt.Workers = workers
+	opt.Sched = policy
+	opt.Seed = 7
+	opt.Trace = root
+	res, err := RunContext(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	j, err := tr.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, res
+}
+
+// TestTraceCanonicalInvariance is the observability determinism contract:
+// identical seeds produce byte-identical canonical span trees across worker
+// counts and scheduling policies — per-worker spans and dispatch-shape
+// attributes are volatile and excluded.
+func TestTraceCanonicalInvariance(t *testing.T) {
+	g := traceGraph(t)
+	base, res1 := runTraced(t, g, 1, SchedSteal)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		policy  SchedPolicy
+	}{
+		{"4-steal", 4, SchedSteal},
+		{"4-static", 4, SchedStatic},
+		{"3-steal", 3, SchedSteal},
+	} {
+		j, res := runTraced(t, g, tc.workers, tc.policy)
+		if !bytes.Equal(base, j) {
+			t.Errorf("%s: canonical span tree differs from 1-worker baseline:\n--- base ---\n%s\n--- %s ---\n%s",
+				tc.name, base, tc.name, j)
+		}
+		if res.Codelength != res1.Codelength {
+			t.Errorf("%s: codelength differs (%v vs %v) — result determinism broken, trace comparison moot",
+				tc.name, res.Codelength, res1.Codelength)
+		}
+	}
+}
+
+// TestTraceNesting checks the exported structure: detect → run → {PageRank,
+// level → {sweep → {FindBestCommunity, UpdateMembers}, Convert2SuperNode}},
+// with the accumulator telemetry attached where the issue specifies.
+func TestTraceNesting(t *testing.T) {
+	g := traceGraph(t)
+	j, res := runTraced(t, g, 2, SchedSteal)
+	var roots []*obs.TreeNode
+	if err := json.Unmarshal(j, &roots); err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0].Name != "detect" {
+		t.Fatalf("want one 'detect' root, got %+v", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "run" {
+		t.Fatalf("want a single 'run' child under the root, got %+v", roots[0].Children)
+	}
+	run := roots[0].Children[0]
+	attr := func(n *obs.TreeNode, key string) string {
+		for _, a := range n.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return ""
+	}
+	if attr(run, "seed") != "7" || attr(run, "kind") != "asa" {
+		t.Errorf("run attrs wrong: %+v", run.Attrs)
+	}
+	if attr(run, "workers") != "" || attr(run, "sched") != "" {
+		t.Error("volatile workers/sched attrs leaked into the canonical tree")
+	}
+	if len(run.Children) == 0 || run.Children[0].Name != "PageRank" {
+		t.Fatalf("first run child should be PageRank, got %+v", run.Children)
+	}
+	levels, sweeps := 0, 0
+	for _, c := range run.Children[1:] {
+		if c.Name != "level" {
+			t.Fatalf("non-level child under run: %s", c.Name)
+		}
+		levels++
+		for _, sc := range c.Children {
+			switch sc.Name {
+			case "sweep":
+				sweeps++
+				if len(sc.Children) != 2 || sc.Children[0].Name != "FindBestCommunity" || sc.Children[1].Name != "UpdateMembers" {
+					t.Fatalf("sweep children wrong: %+v", sc.Children)
+				}
+				if len(sc.Children[0].Children) != 0 {
+					t.Error("volatile worker spans leaked under FindBestCommunity")
+				}
+				if attr(sc, "cam_hits") == "" || attr(sc, "codelength") == "" {
+					t.Errorf("sweep missing telemetry attrs: %+v", sc.Attrs)
+				}
+				if attr(sc, "steals") != "" || attr(sc, "imbalance") != "" {
+					t.Error("volatile dispatch attrs leaked into sweep")
+				}
+			case "Convert2SuperNode":
+			default:
+				t.Fatalf("unexpected child under level: %s", sc.Name)
+			}
+		}
+	}
+	if levels != res.Levels {
+		t.Errorf("trace has %d level spans, result reports %d", levels, res.Levels)
+	}
+	if sweeps != res.Sweeps {
+		t.Errorf("trace has %d sweep spans, result reports %d", sweeps, res.Sweeps)
+	}
+}
+
+// TestAccumEventFold: the breakdown's named event counters equal the summed
+// per-worker accumulator stats — the plumbing /metrics relies on.
+func TestAccumEventFold(t *testing.T) {
+	g := traceGraph(t)
+	opt := DefaultOptions()
+	opt.Kind = ASA
+	opt.Workers = 2
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.TotalStats()
+	bd := res.Breakdown
+	if total.Accumulates == 0 || total.Hits == 0 {
+		t.Fatalf("test graph produced no accumulator traffic: %+v", total)
+	}
+	for name, want := range map[string]uint64{
+		"AccumAccumulates": total.Accumulates,
+		"AccumHits":        total.Hits,
+		"AccumMisses":      total.Misses,
+		"AccumEvictions":   total.Evictions,
+		"AccumOverflowKV":  total.OverflowKV,
+		"AccumGatheredKV":  total.GatheredKV,
+	} {
+		if got := bd.Events(name); got != want {
+			t.Errorf("event %s = %d, want %d", name, got, want)
+		}
+	}
+	// Per-level CAM folds sum to the run totals for the fields they track.
+	var levelHits uint64
+	for _, name := range bd.EventNames() {
+		if len(name) > 6 && name[:5] == "Level" {
+			if idx := len("LevelN/"); name[idx:] == "AccumHits" {
+				levelHits += bd.Events(name)
+			}
+		}
+	}
+	if levelHits != total.Hits {
+		t.Errorf("per-level AccumHits sum to %d, run total is %d", levelHits, total.Hits)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/asamap/asamap/internal/asa"
 	"github.com/asamap/asamap/internal/clock"
 	"github.com/asamap/asamap/internal/hashtab"
+	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/perf"
 	"github.com/asamap/asamap/internal/sched"
 	"github.com/asamap/asamap/internal/trace"
@@ -129,6 +130,14 @@ type Options struct {
 	// timing fields deterministic. Timings never influence the partition,
 	// so Clock is excluded from Fingerprint.
 	Clock clock.Clock
+	// Trace, when non-nil, is the parent span under which the run emits its
+	// hierarchical span tree (run → level → sweep → kernel, plus volatile
+	// per-worker spans). The serving layer passes its per-request root span;
+	// the CLI passes a span from a fresh obs.Tracer. Nil disables tracing at
+	// zero cost — spans are nil and every operation no-ops. Tracing is pure
+	// telemetry and never influences the partition, so Trace is excluded
+	// from Fingerprint.
+	Trace *obs.Span
 }
 
 // DefaultOptions returns the standard configuration: Baseline accumulator,

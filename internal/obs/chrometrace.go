@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). The format
+// is the chrome://tracing / Perfetto JSON described in the Trace Event
+// Format document: nesting is implied by ts/dur containment on a (pid, tid)
+// track, and args carry the span attributes plus explicit id/parent links so
+// machine consumers need not reconstruct nesting from time intervals.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds since the tracer epoch
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object Perfetto and chrome://tracing
+// both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every retained completed span as Chrome
+// trace-event JSON. Volatile spans and attributes are included — this is the
+// profiling artifact, not the determinism witness (use CanonicalJSON for
+// that). Event order follows span End order; viewers sort by ts themselves.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}` + "\n"))
+		return err
+	}
+	spans := t.Snapshot(0)
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		cat := "span"
+		if s.Volatile {
+			cat = "volatile"
+		}
+		args := make(map[string]string, len(s.Attrs)+len(s.VolatileAttrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		for _, a := range s.VolatileAttrs {
+			args[a.Key] = a.Value
+		}
+		args["id"] = fmt.Sprintf("%016x", s.ID)
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", s.Parent)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  s.Name,
+			Cat:   cat,
+			Phase: "X",
+			TS:    float64(s.Start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:   float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3,
+			PID:   1,
+			TID:   s.Track + 1,
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// TreeNode is one node of the canonical span tree: the deterministic
+// skeleton of a trace with all timestamps, volatile spans, and volatile
+// attributes removed.
+type TreeNode struct {
+	Name     string      `json:"name"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// CanonicalTree assembles the retained non-volatile spans into root-ordered
+// trees. Children are ordered by their structural birth index, which is a
+// pure function of program structure, so for a fixed seed the tree is
+// identical across worker counts and steal schedules. Spans whose parent was
+// ring-evicted (or never ended) surface as roots.
+func (t *Tracer) CanonicalTree() []*TreeNode {
+	if t == nil {
+		return nil
+	}
+	spans := t.Snapshot(0)
+	type entry struct {
+		data SpanData
+		node *TreeNode
+	}
+	byID := make(map[uint64]entry, len(spans))
+	for _, s := range spans {
+		if s.Volatile {
+			continue
+		}
+		byID[s.ID] = entry{s, &TreeNode{Name: s.Name, Attrs: s.Attrs}}
+	}
+	type edge struct {
+		seq    uint64
+		id     uint64
+		parent uint64
+	}
+	edges := make([]edge, 0, len(byID))
+	for _, s := range spans {
+		if s.Volatile {
+			continue
+		}
+		edges = append(edges, edge{seq: s.Seq, id: s.ID, parent: s.Parent})
+	}
+	// Attach children in (parent, seq) order. Sorting by (parent, seq, id)
+	// makes assembly independent of End order, which can vary when sibling
+	// spans end concurrently.
+	slices.SortFunc(edges, func(a, b edge) int {
+		switch {
+		case a.parent != b.parent:
+			if a.parent < b.parent {
+				return -1
+			}
+			return 1
+		case a.seq != b.seq:
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	var roots []*TreeNode
+	var rootEdges []edge
+	for _, e := range edges {
+		if e.parent == 0 {
+			rootEdges = append(rootEdges, e)
+			continue
+		}
+		parent, ok := byID[e.parent]
+		if !ok {
+			rootEdges = append(rootEdges, e)
+			continue
+		}
+		parent.node.Children = append(parent.node.Children, byID[e.id].node)
+	}
+	slices.SortFunc(rootEdges, func(a, b edge) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	for _, e := range rootEdges {
+		roots = append(roots, byID[e.id].node)
+	}
+	return roots
+}
+
+// CanonicalJSON renders the canonical tree as indented JSON. For a fixed
+// seed the bytes are identical across worker counts and scheduling policies
+// — the determinism witness the golden tests compare.
+func (t *Tracer) CanonicalJSON() ([]byte, error) {
+	return json.MarshalIndent(t.CanonicalTree(), "", "  ")
+}

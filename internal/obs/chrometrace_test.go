@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a Chrome trace artifact back into its event list.
+func decodeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var out chromeTrace
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, data)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	return out.TraceEvents
+}
+
+// TestChromeTraceExport builds a known two-level trace on a fake clock and
+// checks the exported events: names, categories, microsecond timestamps, and
+// that each child's [ts, ts+dur] interval and parent link nest inside its
+// parent — the property chrome://tracing uses to draw the flame graph.
+func TestChromeTraceExport(t *testing.T) {
+	clk := fakeClock()
+	tr := New(Config{Clock: clk, Seed: 1})
+	run := tr.Begin("run")
+	clk.Advance(time.Millisecond)
+	kernel := run.Child("PageRank")
+	kernel.SetAttr("damping", "0.85")
+	clk.Advance(2 * time.Millisecond)
+	kernel.End()
+	worker := run.ChildKeyed("worker", 3)
+	worker.SetTrack(4)
+	clk.Advance(time.Millisecond)
+	worker.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("want 3 events, got %d", len(events))
+	}
+	byName := map[string]chromeEvent{}
+	for _, e := range events {
+		if e.Phase != "X" || e.PID != 1 {
+			t.Errorf("event %s: ph=%s pid=%d, want X/1", e.Name, e.Phase, e.PID)
+		}
+		byName[e.Name] = e
+	}
+	runEv, krnEv, wrkEv := byName["run"], byName["PageRank"], byName["worker"]
+	if krnEv.Args["parent"] != runEv.Args["id"] || wrkEv.Args["parent"] != runEv.Args["id"] {
+		t.Error("child events do not link to the run event's id")
+	}
+	if krnEv.Args["damping"] != "0.85" {
+		t.Errorf("kernel attr lost: args=%v", krnEv.Args)
+	}
+	if krnEv.Cat != "span" || wrkEv.Cat != "volatile" {
+		t.Errorf("categories: kernel=%s worker=%s", krnEv.Cat, wrkEv.Cat)
+	}
+	if wrkEv.TID != 5 {
+		t.Errorf("worker track: tid=%d, want 5", wrkEv.TID)
+	}
+	// Fake clock: run spans 0..4000µs, kernel 1000..3000µs, worker 3000..4000µs.
+	if runEv.TS != 0 || runEv.Dur != 4000 {
+		t.Errorf("run interval [%g, +%g], want [0, +4000]", runEv.TS, runEv.Dur)
+	}
+	if krnEv.TS != 1000 || krnEv.Dur != 2000 {
+		t.Errorf("kernel interval [%g, +%g], want [1000, +2000]", krnEv.TS, krnEv.Dur)
+	}
+	for _, child := range []chromeEvent{krnEv, wrkEv} {
+		if child.TS < runEv.TS || child.TS+child.Dur > runEv.TS+runEv.Dur {
+			t.Errorf("%s interval [%g, +%g] escapes run [%g, +%g]",
+				child.Name, child.TS, child.Dur, runEv.TS, runEv.Dur)
+		}
+	}
+}
+
+// TestChromeTraceByteStable: on a fake clock the whole artifact is
+// byte-deterministic (json map args are key-sorted by encoding/json).
+func TestChromeTraceByteStable(t *testing.T) {
+	render := func() []byte {
+		clk := fakeClock()
+		tr := New(Config{Clock: clk, Seed: 9})
+		buildRun(tr, 2)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	// Worker spans end concurrently, so End order (event order) can differ;
+	// compare as sorted line-independent sets via unmarshal+marshal of each
+	// event.
+	ea, eb := decodeTrace(t, a), decodeTrace(t, b)
+	if len(ea) != len(eb) {
+		t.Fatalf("event counts differ: %d vs %d", len(ea), len(eb))
+	}
+	seen := map[string]int{}
+	key := func(e chromeEvent) string {
+		j, _ := json.Marshal(e)
+		return string(j)
+	}
+	for _, e := range ea {
+		seen[key(e)]++
+	}
+	for _, e := range eb {
+		seen[key(e)]--
+	}
+	for k, n := range seen {
+		if n != 0 {
+			t.Errorf("event multiset differs: %s (count %+d)", k, n)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a slog text logger writing to w at the given level —
+// the structured logger the serving stack and CLIs share. Fields are
+// key=value pairs; the serving layer adds request_id to every record emitted
+// on behalf of a request, so one grep correlates a request's admission,
+// execution, and completion lines.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// DiscardLogger returns a logger that drops every record; the default for
+// library consumers (and tests) that did not configure logging.
+func DiscardLogger() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler is slog.DiscardHandler, which only exists from Go 1.24 —
+// the module still targets 1.22.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// WithRequestID returns logger with the request_id field attached to every
+// record, correlating log lines with the request's root span and response
+// header.
+func WithRequestID(logger *slog.Logger, id string) *slog.Logger {
+	return logger.With("request_id", id)
+}
+
+// ParseLevel maps the CLI -log-level spelling onto a slog.Level, defaulting
+// to Info for unknown values.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}

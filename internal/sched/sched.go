@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/obs"
 )
 
 // Mode selects the scheduling policy of one Dispatch.
@@ -156,6 +157,7 @@ type dispatch struct {
 	fn     BlockFunc
 	mode   Mode
 	clk    clock.Clock
+	parent *obs.Span // span the per-worker spans nest under; nil = no tracing
 
 	spanLo, spanHi []int    // per worker: initial block span [lo, hi)
 	cursors        []cursor // per worker: atomic next-block grab counter
@@ -185,14 +187,23 @@ func (d *dispatch) setErr(err error) {
 
 // runWorker drains worker id's own span, then (in Steal mode) the remaining
 // blocks of the other spans. A panic inside the BlockFunc is converted into
-// a dispatch error rather than crashing the process.
+// a dispatch error rather than crashing the process. When the dispatch has a
+// trace parent, the worker's share is emitted as a keyed volatile span (its
+// ID derives from the worker ID, and it never enters the canonical tree, so
+// tracing cannot perturb the determinism contract).
 func (d *dispatch) runWorker(id int) {
+	ws := d.parent.ChildKeyed("worker", uint64(id))
+	ws.SetTrack(id + 1)
+	st := &d.stats[id]
 	defer func() {
 		if r := recover(); r != nil {
 			d.setErr(fmt.Errorf("sched: worker %d panicked: %v", id, r))
 		}
+		ws.SetVolatileUint("blocks", uint64(st.Blocks))
+		ws.SetVolatileUint("steals", uint64(st.Steals))
+		ws.SetVolatileAttr("busy", st.Busy.String())
+		ws.End()
 	}()
-	st := &d.stats[id]
 	for {
 		b := int(d.cursors[id].next.Add(1)) - 1
 		if b >= d.spanHi[id] {
@@ -239,6 +250,14 @@ func (d *dispatch) runBlock(id, b int, st *WorkerStat, stolen bool) {
 // workers have stopped; remaining unstarted blocks may be skipped once an
 // error is recorded. Only one Dispatch may be in flight per pool.
 func (p *Pool) Dispatch(bounds []int, mode Mode, fn BlockFunc) (Stats, error) {
+	return p.DispatchTraced(bounds, mode, fn, nil)
+}
+
+// DispatchTraced is Dispatch with span tracing: each participating worker
+// emits one volatile keyed span under parent carrying its busy time, block
+// count, and steal count on its own display track. A nil parent traces
+// nothing (Dispatch delegates here with nil).
+func (p *Pool) DispatchTraced(bounds []int, mode Mode, fn BlockFunc, parent *obs.Span) (Stats, error) {
 	nb := len(bounds) - 1
 	if nb < 0 {
 		return Stats{}, fmt.Errorf("sched: empty bounds")
@@ -248,6 +267,7 @@ func (p *Pool) Dispatch(bounds []int, mode Mode, fn BlockFunc) (Stats, error) {
 		fn:      fn,
 		mode:    mode,
 		clk:     p.clk,
+		parent:  parent,
 		spanLo:  make([]int, p.n),
 		spanHi:  make([]int, p.n),
 		cursors: make([]cursor, p.n),

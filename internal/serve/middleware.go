@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+
+	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// requestState travels with a request's context: the request's root span (the
+// parent for any detection run it triggers) and a logger pre-tagged with the
+// request ID.
+type requestState struct {
+	span   *obs.Span
+	logger *slog.Logger
+}
+
+// reqKey is the private context key for requestState.
+type reqKey struct{}
+
+// requestSpan returns the request's root span, or nil (a no-op span) when the
+// handler runs outside the middleware (as in narrow unit tests).
+func requestSpan(ctx context.Context) *obs.Span {
+	if st, ok := ctx.Value(reqKey{}).(*requestState); ok {
+		return st.span
+	}
+	return nil
+}
+
+// requestLogger returns the request-ID-tagged logger, or the fallback when
+// the handler runs outside the middleware.
+func requestLogger(ctx context.Context, fallback *slog.Logger) *slog.Logger {
+	if st, ok := ctx.Value(reqKey{}).(*requestState); ok {
+		return st.logger
+	}
+	return fallback
+}
+
+// statusWriter records the response status and whether the handler wrote
+// anything, so the middleware can log the outcome and the panic recovery can
+// tell whether a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// middleware wraps every handler with the observability envelope, outermost
+// first: request-ID correlation (honoring a client-sent X-Request-Id, else
+// deriving one from a salted counter), a per-request root span, panic
+// recovery (structured stack-trace log line plus a 500 when nothing has been
+// written yet), the end-to-end latency histogram, and one structured log line
+// per request.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.clk.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("%016x", rng.Hash64(s.idSalt^s.reqSeq.Add(1)))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+
+		span := s.tracer.Begin("request")
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		span.SetVolatileAttr("request_id", reqID)
+		logger := obs.WithRequestID(s.logger, reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), reqKey{},
+			&requestState{span: span, logger: logger}))
+
+		defer func() {
+			if p := recover(); p != nil {
+				logger.Error("panic recovered",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
+				if !sw.wrote {
+					httpError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			elapsed := s.clk.Since(start)
+			span.SetVolatileUint("status", uint64(sw.status()))
+			span.End()
+			s.reqHist.Observe(elapsed)
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status(),
+				"elapsed", elapsed.String())
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// BuildInfo is the binary provenance block of /healthz, read once at startup
+// from the Go build info embedded in the executable.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// readBuildInfo extracts the health-relevant build settings. Binaries built
+// without VCS stamping (e.g. go test) just omit the VCS fields.
+func readBuildInfo() BuildInfo {
+	out := BuildInfo{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = info.GoVersion
+	out.Module = info.Main.Path
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out.Revision = kv.Value
+		case "vcs.time":
+			out.BuildTime = kv.Value
+		case "vcs.modified":
+			out.Modified = kv.Value == "true"
+		}
+	}
+	return out
+}
+
+// traceSpanPayload is the wire form of one span on /debug/trace: hex IDs,
+// microsecond offsets from the tracer epoch, and both attribute classes.
+type traceSpanPayload struct {
+	ID            string     `json:"id"`
+	Parent        string     `json:"parent,omitempty"`
+	Name          string     `json:"name"`
+	Track         int        `json:"track,omitempty"`
+	Volatile      bool       `json:"volatile,omitempty"`
+	StartUS       int64      `json:"start_us"`
+	DurUS         int64      `json:"dur_us"`
+	Attrs         []obs.Attr `json:"attrs,omitempty"`
+	VolatileAttrs []obs.Attr `json:"volatile_attrs,omitempty"`
+}
+
+// debugTraceDefaultSpans bounds an unparameterized /debug/trace response.
+const debugTraceDefaultSpans = 256
+
+// handleTraceDebug streams the last-N completed spans (newest last) as JSON.
+// ?n= overrides the default window up to the ring size.
+func (s *Server) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
+	n := debugTraceDefaultSpans
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := parsePositiveInt(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad n: "+err.Error())
+			return
+		}
+		n = parsed
+	}
+	spans := s.tracer.Snapshot(n)
+	epoch := s.tracer.Epoch()
+	out := make([]traceSpanPayload, len(spans))
+	for i, sp := range spans {
+		p := traceSpanPayload{
+			ID:            fmt.Sprintf("%016x", sp.ID),
+			Name:          sp.Name,
+			Track:         sp.Track,
+			Volatile:      sp.Volatile,
+			StartUS:       sp.Start.Sub(epoch).Microseconds(),
+			DurUS:         sp.Duration().Microseconds(),
+			Attrs:         sp.Attrs,
+			VolatileAttrs: sp.VolatileAttrs,
+		}
+		if sp.Parent != 0 {
+			p.Parent = fmt.Sprintf("%016x", sp.Parent)
+		}
+		out[i] = p
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retained": s.tracer.Len(),
+		"spans":    out,
+	})
+}
+
+// parsePositiveInt parses a strictly positive decimal integer.
+func parsePositiveInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("must be >= 1, got %d", n)
+	}
+	return n, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/trace"
 )
 
 // ErrQueueFull is returned by Queue.Submit when admission control rejects a
@@ -53,6 +54,7 @@ type Queue struct {
 	mu       sync.Mutex
 	closed   bool
 	ewma     time.Duration // exponentially weighted mean job duration
+	waitHist *trace.Histogram
 	counters struct {
 		submitted, rejected, completed, canceled uint64
 	}
@@ -63,10 +65,11 @@ type Queue struct {
 }
 
 type queueJob struct {
-	ctx  context.Context
-	run  func(ctx context.Context) error
-	done chan struct{}
-	err  error
+	ctx       context.Context
+	run       func(ctx context.Context) error
+	done      chan struct{}
+	err       error
+	submitted time.Time // admission instant; queue-wait = pop time - submitted
 }
 
 // NewQueue starts workers goroutines draining a queue with the given
@@ -95,11 +98,30 @@ func NewQueue(capacity, workers int, clk clock.Clock) *Queue {
 	return q
 }
 
+// SetWaitHist installs a histogram observing each job's queue wait (time
+// from admission to a worker popping it, including canceled-while-queued
+// jobs). Call before the first Submit; the queue never mutates the histogram
+// bounds.
+func (q *Queue) SetWaitHist(h *trace.Histogram) {
+	q.mu.Lock()
+	q.waitHist = h
+	q.mu.Unlock()
+}
+
+func (q *Queue) wait() *trace.Histogram {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waitHist
+}
+
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for j := range q.jobs {
 		if gate := q.gate(); gate != nil {
 			gate()
+		}
+		if h := q.wait(); h != nil {
+			h.Observe(q.clk.Since(j.submitted))
 		}
 		if err := j.ctx.Err(); err != nil {
 			// Canceled while queued (client gone, deadline passed): do not
@@ -194,7 +216,7 @@ func (q *Queue) Submit(ctx context.Context, run func(ctx context.Context) error)
 		return nil, &ErrQueueFull{RetryAfter: q.RetryAfter()}
 	}
 
-	j := &queueJob{ctx: ctx, run: run, done: make(chan struct{})}
+	j := &queueJob{ctx: ctx, run: run, done: make(chan struct{}), submitted: q.clk.Now()}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -34,6 +35,8 @@ import (
 	"github.com/asamap/asamap/internal/asa"
 	"github.com/asamap/asamap/internal/clock"
 	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/rng"
 	"github.com/asamap/asamap/internal/trace"
 )
 
@@ -56,6 +59,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// Clock is injectable for deterministic tests; nil means the real clock.
 	Clock clock.Clock
+	// Logger receives the structured request/error log; nil discards.
+	Logger *slog.Logger
+	// TraceRing bounds the span ring buffer behind /debug/trace; 0 takes the
+	// default (4096 spans), negative disables span retention.
+	TraceRing int
 }
 
 // DefaultConfig returns production-shaped sizing: 16 outstanding jobs, 2
@@ -81,8 +89,15 @@ type Server struct {
 	agg      *trace.Breakdown // kernel breakdowns merged across all runs
 	mux      *http.ServeMux
 	started  time.Time
+	logger   *slog.Logger
+	tracer   *obs.Tracer      // span ring behind /debug/trace
+	reqHist  *trace.Histogram // end-to-end request latency
+	waitHist *trace.Histogram // detection-job queue wait
+	build    BuildInfo
+	idSalt   uint64 // salts generated request IDs across server instances
 
-	runs atomic.Uint64 // detection runs actually executed (not cache/coalesced)
+	runs   atomic.Uint64 // detection runs actually executed (not cache/coalesced)
+	reqSeq atomic.Uint64 // generated-request-ID counter
 }
 
 // New constructs a Server from cfg.
@@ -102,6 +117,18 @@ func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 64 << 20
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
+	ring := cfg.TraceRing
+	switch {
+	case ring == 0:
+		ring = 4096
+	case ring < 0:
+		ring = 1 // smallest retention: the tracer has no true "off" mode
+	}
+	started := cfg.Clock.Now()
 	s := &Server{
 		cfg:      cfg,
 		clk:      cfg.Clock,
@@ -109,14 +136,22 @@ func New(cfg Config) *Server {
 		queue:    NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.Clock),
 		cache:    NewResultCache(cfg.CacheEntries),
 		agg:      trace.NewBreakdown(),
-		started:  cfg.Clock.Now(),
+		started:  started,
+		logger:   logger,
+		tracer:   obs.New(obs.Config{Clock: cfg.Clock, RingSize: ring}),
+		reqHist:  trace.NewLatencyHistogram(),
+		waitHist: trace.NewLatencyHistogram(),
+		build:    readBuildInfo(),
+		idSalt:   rng.Hash64(uint64(started.UnixNano())),
 	}
+	s.queue.SetWaitHist(s.waitHist)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphInfo)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTraceDebug)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -126,8 +161,10 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// observability middleware (request IDs, root spans, panic recovery, latency
+// histogram, structured request log).
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
 
 // Close drains the job queue and releases the workers.
 func (s *Server) Close() { s.queue.Close() }
@@ -222,21 +259,35 @@ func (d DetectOptions) toOptions() (infomap.Options, error) {
 	return opt, nil
 }
 
+// AccumCounters is the deterministic slice of the run's accumulator
+// telemetry: the four CAM counters of the paper's evaluation are sums over
+// per-vertex accumulator sessions, invariant across worker counts and steal
+// schedules, so they are safe inside the byte-replayable response body.
+// (Schedule-dependent counters like chain hops stay out — they would break
+// the byte-identical cache-replay contract.)
+type AccumCounters struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	OverflowKV uint64 `json:"overflow_kv"`
+}
+
 // DetectResponse is the body of a successful POST /v1/detect. It carries
 // only deterministic fields — no wall-clock values — so identical requests
 // yield byte-identical bodies whether computed, cached, or coalesced.
 // Timing travels in the X-Asamap-Elapsed response header instead.
 type DetectResponse struct {
-	Graph              string   `json:"graph"`
-	Fingerprint        string   `json:"fingerprint"`
-	Seed               uint64   `json:"seed"`
-	NumModules         int      `json:"num_modules"`
-	Codelength         float64  `json:"codelength"`
-	OneLevelCodelength float64  `json:"one_level_codelength"`
-	Levels             int      `json:"levels"`
-	Sweeps             int      `json:"sweeps"`
-	Moves              uint64   `json:"moves"`
-	Membership         []uint32 `json:"membership"`
+	Graph              string        `json:"graph"`
+	Fingerprint        string        `json:"fingerprint"`
+	Seed               uint64        `json:"seed"`
+	NumModules         int           `json:"num_modules"`
+	Codelength         float64       `json:"codelength"`
+	OneLevelCodelength float64       `json:"one_level_codelength"`
+	Levels             int           `json:"levels"`
+	Sweeps             int           `json:"sweeps"`
+	Moves              uint64        `json:"moves"`
+	Accum              AccumCounters `json:"accum"`
+	Membership         []uint32      `json:"membership"`
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -302,6 +353,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := opt.Fingerprint()
 	key := req.Graph + "|" + fp + "|" + strconv.FormatUint(opt.Seed, 10)
+	// Nest the run's span tree under this request's root span. Tracing is
+	// excluded from the fingerprint, so the cache key is unaffected.
+	opt.Trace = requestSpan(r.Context())
 
 	start := s.clk.Now()
 	body, outcome, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
@@ -325,6 +379,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		s.agg.Merge(res.Breakdown)
+		total := res.TotalStats()
 		return json.Marshal(DetectResponse{
 			Graph:              req.Graph,
 			Fingerprint:        fp,
@@ -335,10 +390,18 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			Levels:             res.Levels,
 			Sweeps:             res.Sweeps,
 			Moves:              res.Moves,
-			Membership:         res.Membership,
+			Accum: AccumCounters{
+				Hits:       total.Hits,
+				Misses:     total.Misses,
+				Evictions:  total.Evictions,
+				OverflowKV: total.OverflowKV,
+			},
+			Membership: res.Membership,
 		})
 	})
 	if err != nil {
+		requestLogger(r.Context(), s.logger).Warn("detect failed",
+			"graph", req.Graph, "error", err.Error())
 		s.writeDetectError(w, err)
 		return
 	}
@@ -376,6 +439,7 @@ func (s *Server) writeDetectError(w http.ResponseWriter, err error) {
 type healthPayload struct {
 	Status        string        `json:"status"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
+	Build         BuildInfo     `json:"build"`
 	Registry      RegistryStats `json:"registry"`
 	Queue         QueueStats    `json:"queue"`
 	Cache         CacheStats    `json:"cache"`
@@ -386,6 +450,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthPayload{
 		Status:        "ok",
 		UptimeSeconds: s.clk.Since(s.started).Seconds(),
+		Build:         s.build,
 		Registry:      s.registry.Stats(),
 		Queue:         s.queue.Stats(),
 		Cache:         s.cache.Stats(),
@@ -415,6 +480,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE asamap_registry_parses_total counter\nasamap_registry_parses_total %d\n", rs.Parses)
 	fmt.Fprintf(w, "# TYPE asamap_registry_raw_hits_total counter\nasamap_registry_raw_hits_total %d\n", rs.RawHits)
 	fmt.Fprintf(w, "# TYPE asamap_runs_total counter\nasamap_runs_total %d\n", s.runs.Load())
+	s.reqHist.Snapshot().WritePrometheus(w, "asamap_request_seconds",
+		"End-to-end HTTP request latency.")
+	s.waitHist.Snapshot().WritePrometheus(w, "asamap_queue_wait_seconds",
+		"Detection-job wait between queue admission and worker pickup.")
 	s.agg.Snapshot().WritePrometheus(w, "asamap")
 }
 

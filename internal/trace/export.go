@@ -32,12 +32,20 @@ func (g GaugeSnapshot) Mean() float64 {
 	return g.Sum / float64(g.Count)
 }
 
+// EventSnapshot is one event counter's accumulated count (e.g. the ASA CAM's
+// hits, misses, evictions, or overflow pairs).
+type EventSnapshot struct {
+	Name  string
+	Count uint64
+}
+
 // Snapshot is a consistent point-in-time copy of a Breakdown, taken under one
 // lock acquisition, with deterministic (name-sorted) ordering. It is what the
 // serving layer's /metrics endpoint exports.
 type Snapshot struct {
 	Spans  []SpanSnapshot
 	Gauges []GaugeSnapshot
+	Events []EventSnapshot
 }
 
 // Snapshot copies the breakdown's current state. Unlike the per-name getters,
@@ -55,6 +63,9 @@ func (b *Breakdown) Snapshot() Snapshot {
 	for _, name := range graph.SortedKeys(b.gauges) {
 		g := b.gauges[name]
 		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Sum: g.sum, Count: g.count})
+	}
+	for _, name := range graph.SortedKeys(b.events) {
+		s.Events = append(s.Events, EventSnapshot{Name: name, Count: b.events[name]})
 	}
 	b.mu.Unlock()
 	return s
@@ -87,6 +98,13 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		fmt.Fprintf(w, "# TYPE %s_gauge_samples_total counter\n", namespace)
 		for _, g := range s.Gauges {
 			fmt.Fprintf(w, "%s_gauge_samples_total{gauge=%q} %d\n", namespace, promLabel(g.Name), g.Count)
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintf(w, "# HELP %s_events_total Accumulated kernel event counts (accumulator hits/misses/evictions, per-level folds).\n", namespace)
+		fmt.Fprintf(w, "# TYPE %s_events_total counter\n", namespace)
+		for _, e := range s.Events {
+			fmt.Fprintf(w, "%s_events_total{event=%q} %d\n", namespace, promLabel(e.Name), e.Count)
 		}
 	}
 	return nil

@@ -36,13 +36,14 @@ const (
 	GaugeSweepSteals = "SweepSteals"
 )
 
-// Breakdown accumulates named durations and dimensionless gauge samples. It
-// is safe for concurrent Add/Observe.
+// Breakdown accumulates named durations, dimensionless gauge samples, and
+// monotone event counters. It is safe for concurrent Add/Observe/AddEvents.
 type Breakdown struct {
 	mu     sync.Mutex
 	spans  map[string]time.Duration
 	counts map[string]uint64
 	gauges map[string]gauge
+	events map[string]uint64
 }
 
 // gauge is a running sum/count of dimensionless samples.
@@ -57,6 +58,7 @@ func NewBreakdown() *Breakdown {
 		spans:  make(map[string]time.Duration),
 		counts: make(map[string]uint64),
 		gauges: make(map[string]gauge),
+		events: make(map[string]uint64),
 	}
 }
 
@@ -112,6 +114,34 @@ func (b *Breakdown) GaugeNames() []string {
 	return graph.SortedKeys(b.gauges)
 }
 
+// AddEvents adds n occurrences of the named event counter. Event counters
+// carry the accumulator telemetry of the paper's evaluation — CAM hits,
+// misses, evictions, overflow pairs — from the kernel layer to /metrics and
+// run artifacts; they are monotone sums, never means.
+func (b *Breakdown) AddEvents(name string, n uint64) {
+	if n == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.events[name] += n
+	b.mu.Unlock()
+}
+
+// Events returns the accumulated count of the named event (0 when never
+// recorded).
+func (b *Breakdown) Events(name string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.events[name]
+}
+
+// EventNames returns all recorded event names, sorted.
+func (b *Breakdown) EventNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return graph.SortedKeys(b.events)
+}
+
 // Get returns the accumulated duration for name.
 func (b *Breakdown) Get(name string) time.Duration {
 	b.mu.Lock()
@@ -159,6 +189,7 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	spans := make(map[string]time.Duration, len(other.spans))
 	counts := make(map[string]uint64, len(other.counts))
 	gauges := make(map[string]gauge, len(other.gauges))
+	events := make(map[string]uint64, len(other.events))
 	for k, v := range other.spans {
 		spans[k] = v
 	}
@@ -167,6 +198,9 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	}
 	for k, v := range other.gauges {
 		gauges[k] = v
+	}
+	for k, v := range other.events {
+		events[k] = v
 	}
 	other.mu.Unlock()
 
@@ -182,6 +216,9 @@ func (b *Breakdown) Merge(other *Breakdown) {
 		g.sum += v.sum
 		g.count += v.count
 		b.gauges[k] = g
+	}
+	for k, v := range events {
+		b.events[k] += v
 	}
 	b.mu.Unlock()
 }
@@ -200,6 +237,9 @@ func (b *Breakdown) String() string {
 	}
 	for _, n := range b.GaugeNames() {
 		fmt.Fprintf(&sb, "%-20s %12.3f  (mean of %d samples)\n", n, b.Mean(n), b.Samples(n))
+	}
+	for _, n := range b.EventNames() {
+		fmt.Fprintf(&sb, "%-20s %12d  events\n", n, b.Events(n))
 	}
 	return sb.String()
 }
