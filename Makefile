@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race fuzz-smoke bench-smoke all
+.PHONY: build test lint race fuzz-smoke bench-smoke chaos-smoke all
 
 all: build lint test
 
@@ -25,3 +25,10 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=Sched -benchtime=1x ./...
+
+# chaos-smoke exercises the replicated service under the seeded fault
+# injector (race detector on), then drives an in-process 3-replica cluster
+# with the open-loop load generator.
+chaos-smoke:
+	$(GO) test -race -run 'TestCluster|TestPeerClient|TestBreaker' -count=2 ./internal/serve/cluster
+	$(GO) run ./cmd/asaload -self-serve -self-replicas 3 -fault-drop 0.05 -fault-fail 0.05 -rate 100 -duration 5s -out BENCH_serve_ci.json

@@ -9,13 +9,28 @@
 //	asamapd -addr :8715 -queue 32 -jobs 4 -cache 512 -job-timeout 2m
 //	asamapd -preload graph.txt             # register a graph at startup
 //
+// Replicated deployment — N replicas plus an optional stateless router that
+// consistent-hashes graph hashes across them, replicates uploads to each
+// key's owners, and fails over (ultimately to local compute) when owners
+// are unreachable:
+//
+//	asamapd -addr :8701 -peers http://h1:8701,http://h2:8702 -self 0
+//	asamapd -addr :8702 -peers http://h1:8701,http://h2:8702 -self 1
+//	asamapd -addr :8700 -peers http://h1:8701,http://h2:8702 -router
+//
+// The -peer-fault-* flags point the internal/fault injector at the
+// inter-replica paths for chaos drills; all peer traffic then flows through
+// the seeded, deterministic fault schedule.
+//
 // Endpoints:
 //
 //	POST /v1/graphs[?directed=true]   upload an edge list, returns its hash
 //	GET  /v1/graphs/{hash}            registered graph shape
+//	GET  /v1/graphs/{hash}/data       canonical edge list (peer replication)
 //	POST /v1/detect                   {"graph":"<hash>","options":{...}}
 //	GET  /healthz                     liveness + build info + registry/queue/cache stats
-//	GET  /metrics                     Prometheus text format (latency histograms, accumulator counters)
+//	GET  /metrics                     Prometheus text format (latency histograms, accumulator, cluster counters)
+//	GET  /cluster/status              replication/forwarding/breaker state (cluster mode)
 //	GET  /debug/trace[?n=N]           last-N completed spans from the trace ring
 //	GET  /debug/pprof/                Go profiling
 package main
@@ -29,11 +44,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/asamap/asamap/internal/fault"
 	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/serve"
+	"github.com/asamap/asamap/internal/serve/cluster"
 )
 
 func main() {
@@ -47,6 +65,23 @@ func main() {
 	preloadDirected := flag.Bool("preload-directed", false, "treat the preloaded edge list as directed")
 	logLevel := flag.String("log-level", "info", "structured log level: debug | info | warn | error")
 	traceRing := flag.Int("trace-ring", 4096, "completed spans retained for /debug/trace (0 = default)")
+
+	peers := flag.String("peers", "", "comma-separated replica base URLs; enables cluster mode")
+	self := flag.Int("self", -1, "this process's index in -peers (-1 with -router = stateless router)")
+	router := flag.Bool("router", false, "run as a stateless router over -peers (no owned shard)")
+	replication := flag.Int("replication", 2, "owners per graph hash")
+	clusterSeed := flag.Uint64("cluster-seed", 0, "hash-ring placement seed (must match across the cluster)")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "per-attempt timeout for peer calls")
+	peerRetries := flag.Int("peer-retries", 2, "retries after a failed peer attempt (negative = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive peer failures that trip its circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long a tripped breaker stays open (negative = zero)")
+
+	faultSeed := flag.Uint64("peer-fault-seed", 1, "chaos: fault schedule seed for peer paths")
+	faultDrop := flag.Float64("peer-fault-drop", 0, "chaos: per-message drop probability on peer paths")
+	faultFail := flag.Float64("peer-fault-fail", 0, "chaos: per-message injected-5xx probability on peer paths")
+	faultDup := flag.Float64("peer-fault-dup", 0, "chaos: per-message duplication probability on peer paths")
+	faultDelay := flag.Float64("peer-fault-delay", 0, "chaos: per-message delay probability on peer paths")
+	faultDelayFor := flag.Duration("peer-fault-delay-for", 50*time.Millisecond, "chaos: duration of an injected delay")
 	flag.Parse()
 
 	cfg := serve.DefaultConfig()
@@ -72,9 +107,63 @@ func main() {
 		log.Printf("preloaded %s: hash=%s vertices=%d arcs=%d", *preload, info.Hash, info.Vertices, info.Arcs)
 	}
 
+	handler := srv.Handler()
+	if *peers != "" {
+		peerURLs := strings.Split(*peers, ",")
+		for i := range peerURLs {
+			peerURLs[i] = strings.TrimSpace(peerURLs[i])
+		}
+		nodeSelf := *self
+		if *router {
+			nodeSelf = -1
+		} else if nodeSelf < 0 || nodeSelf >= len(peerURLs) {
+			log.Fatalf("asamapd: -self %d out of range for %d peers (or pass -router)", nodeSelf, len(peerURLs))
+		}
+		ccfg := cluster.Config{
+			Self:             nodeSelf,
+			Peers:            peerURLs,
+			Replication:      *replication,
+			Seed:             *clusterSeed,
+			PeerTimeout:      *peerTimeout,
+			PeerRetries:      *peerRetries,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			Logger:           cfg.Logger,
+		}
+		fcfg := fault.Config{
+			Seed:      *faultSeed,
+			DropProb:  *faultDrop,
+			FailProb:  *faultFail,
+			DupProb:   *faultDup,
+			DelayProb: *faultDelay,
+		}
+		if fcfg.Enabled() {
+			inj, err := fault.New(fcfg)
+			if err != nil {
+				log.Fatalf("asamapd: peer fault config: %v", err)
+			}
+			from := nodeSelf
+			if from < 0 {
+				from = len(peerURLs) // the router's injector coordinate
+			}
+			ccfg.Transport = func(peer int) http.RoundTripper {
+				return &fault.Transport{Inj: inj, From: from, To: peer, DelayFor: *faultDelayFor}
+			}
+			log.Printf("asamapd: CHAOS — peer paths run fault schedule seed=%d drop=%g fail=%g dup=%g delay=%g",
+				*faultSeed, *faultDrop, *faultFail, *faultDup, *faultDelay)
+		}
+		node := cluster.NewNode(srv, ccfg)
+		handler = node.Handler()
+		role := fmt.Sprintf("replica %d", nodeSelf)
+		if nodeSelf < 0 {
+			role = "router"
+		}
+		log.Printf("asamapd: cluster mode — %s of %d peers, replication %d", role, len(peerURLs), ccfg.Replication)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -16,6 +16,7 @@ package fault
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/asamap/asamap/internal/rng"
 )
@@ -37,6 +38,12 @@ const (
 	// Delay delivers the message one superstep late, increasing the
 	// staleness of the receiver's ghost membership.
 	Delay
+	// Reply5xx short-circuits an HTTP exchange with a synthetic 503 from the
+	// "network" without reaching the peer — the load-balancer-lied / proxy-
+	// reset shape of failure. Only the HTTP Transport adapter produces it;
+	// the dist substrate's probability chain never draws it unless FailProb
+	// is set.
+	Reply5xx
 )
 
 // String names the outcome for logs and test failures.
@@ -50,6 +57,8 @@ func (o Outcome) String() string {
 		return "duplicate"
 	case Delay:
 		return "delay"
+	case Reply5xx:
+		return "reply5xx"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -70,11 +79,13 @@ type Config struct {
 	// simulation's own seed so the same algorithm run can be replayed under
 	// different fault schedules.
 	Seed uint64
-	// DropProb, DupProb, DelayProb are per-message probabilities, applied in
-	// that order to a single uniform draw. Their sum must be <= 1.
+	// DropProb, DupProb, DelayProb, FailProb are per-message probabilities,
+	// applied in that order to a single uniform draw. Their sum must be <= 1.
+	// FailProb is the Reply5xx outcome, meaningful only on HTTP paths.
 	DropProb  float64
 	DupProb   float64
 	DelayProb float64
+	FailProb  float64
 	// InjectCrash enables the rank-crash fault: rank CrashRank crashes at
 	// global superstep CrashStep, stays down for CrashDownFor supersteps
 	// (minimum 1), and then recovers from its last checkpoint. The explicit
@@ -95,12 +106,12 @@ func Disabled() Config {
 
 // Validate checks probability ranges and crash parameters.
 func (c Config) Validate() error {
-	for _, p := range []float64{c.DropProb, c.DupProb, c.DelayProb} {
+	for _, p := range []float64{c.DropProb, c.DupProb, c.DelayProb, c.FailProb} {
 		if p < 0 || p > 1 {
 			return fmt.Errorf("fault: probability %g out of [0,1]", p)
 		}
 	}
-	if s := c.DropProb + c.DupProb + c.DelayProb; s > 1 {
+	if s := c.DropProb + c.DupProb + c.DelayProb + c.FailProb; s > 1 {
 		return fmt.Errorf("fault: probabilities sum to %g > 1", s)
 	}
 	if c.InjectCrash {
@@ -119,7 +130,7 @@ func (c Config) Validate() error {
 
 // Enabled reports whether the configuration can inject any fault at all.
 func (c Config) Enabled() bool {
-	return c.DropProb > 0 || c.DupProb > 0 || c.DelayProb > 0 ||
+	return c.DropProb > 0 || c.DupProb > 0 || c.DelayProb > 0 || c.FailProb > 0 ||
 		c.InjectCrash || len(c.Schedule) > 0
 }
 
@@ -128,14 +139,19 @@ type Stats struct {
 	Drops      uint64
 	Duplicates uint64
 	Delays     uint64
+	Fails      uint64 // synthetic 5xx replies (HTTP paths only)
 	Crashes    uint64
 }
 
 // Injector makes fault decisions for one simulation run. A nil *Injector is
 // valid and injects nothing, so the fault-free path pays no branches beyond
-// a nil check.
+// a nil check. Decisions are pure functions of their coordinates; the only
+// mutable state is the stats block, which is mutex-guarded so the injector
+// can sit on concurrent HTTP paths as well as the single-threaded dist
+// simulation.
 type Injector struct {
 	cfg   Config
+	mu    sync.Mutex
 	stats Stats
 }
 
@@ -187,6 +203,8 @@ func (in *Injector) Outcome(step, from, to, attempt int) Outcome {
 		o = Duplicate
 	case u < in.cfg.DropProb+in.cfg.DupProb+in.cfg.DelayProb:
 		o = Delay
+	case u < in.cfg.DropProb+in.cfg.DupProb+in.cfg.DelayProb+in.cfg.FailProb:
+		o = Reply5xx
 	default:
 		o = Deliver
 	}
@@ -195,6 +213,8 @@ func (in *Injector) Outcome(step, from, to, attempt int) Outcome {
 }
 
 func (in *Injector) count(o Outcome) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	switch o {
 	case Drop:
 		in.stats.Drops++
@@ -202,6 +222,8 @@ func (in *Injector) count(o Outcome) {
 		in.stats.Duplicates++
 	case Delay:
 		in.stats.Delays++
+	case Reply5xx:
+		in.stats.Fails++
 	}
 }
 
@@ -211,7 +233,9 @@ func (in *Injector) CrashesAt(rank, step int) bool {
 		return false
 	}
 	if rank == in.cfg.CrashRank && step == in.cfg.CrashStep {
+		in.mu.Lock()
 		in.stats.Crashes++
+		in.mu.Unlock()
 		return true
 	}
 	return false
@@ -241,5 +265,7 @@ func (in *Injector) Stats() Stats {
 	if in == nil {
 		return Stats{}
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.stats
 }

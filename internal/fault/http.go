@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// This file re-aims the injector at HTTP: Transport is an http.RoundTripper
+// that decides, per request, whether the "network" delivers, drops, delays,
+// duplicates, or 5xx-fails the exchange. The replication layer in
+// internal/serve/cluster routes every inter-replica call through it, which is
+// what makes the chaos test tier's fault schedules seeded and reproducible.
+//
+// Determinism works the same way as on the dist paths: the outcome is a pure
+// function of (seed, step, from, to, attempt), with step derived by hashing a
+// stable per-request key (the caller's X-Asamap-Fault-Key header, or
+// method+path when absent) so the draw is independent of the order in which
+// concurrent requests hit the wire. Retries bump the attempt coordinate via
+// the X-Asamap-Fault-Attempt header and therefore draw fresh outcomes, so a
+// dropped request is not doomed to be dropped forever.
+
+// Request headers the Transport reads to locate a request in the fault
+// schedule. The peer client sets both; they are stripped before the request
+// reaches the wire so the receiving server never sees them.
+const (
+	// HeaderFaultKey carries the stable identity of the logical request
+	// (e.g. the detection cache key). Requests with the same key draw the
+	// same outcome at the same attempt, regardless of wall-clock order.
+	HeaderFaultKey = "X-Asamap-Fault-Key"
+	// HeaderFaultAttempt carries the zero-based retry attempt.
+	HeaderFaultAttempt = "X-Asamap-Fault-Attempt"
+)
+
+// TransportError is the connection-level failure the Transport synthesizes
+// for a Drop outcome (and for a Duplicate whose body cannot be replayed).
+type TransportError struct {
+	Outcome Outcome
+	Peer    int
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("fault: injected %s on path to peer %d", e.Outcome, e.Peer)
+}
+
+// Transport is a fault-injecting http.RoundTripper. A Transport with a nil
+// injector is transparent. Transport is safe for concurrent use.
+type Transport struct {
+	// Inner performs the real exchange; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+	// Inj decides outcomes; nil injects nothing.
+	Inj *Injector
+	// Clock times Delay outcomes; nil means the real clock.
+	Clock clock.Clock
+	// From and To are the injector coordinates of this path (sending and
+	// receiving replica indices).
+	From, To int
+	// DelayFor is how long a Delay outcome stalls before delivering
+	// (default 25ms).
+	DelayFor time.Duration
+}
+
+// step derives the injector's step coordinate from the request's stable key.
+// The top bit is cleared so the int stays non-negative on 32-bit platforms.
+func (t *Transport) step(req *http.Request) int {
+	key := req.Header.Get(HeaderFaultKey)
+	if key == "" {
+		key = req.Method + " " + req.URL.Path
+	}
+	return int(rng.HashString(key) >> 33)
+}
+
+// RoundTrip implements http.RoundTripper under the injected fault schedule.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if t.Inj == nil {
+		return inner.RoundTrip(stripFaultHeaders(req))
+	}
+	attempt, _ := strconv.Atoi(req.Header.Get(HeaderFaultAttempt))
+	outcome := t.Inj.Outcome(t.step(req), t.From, t.To, attempt)
+	switch outcome {
+	case Drop:
+		closeRequestBody(req)
+		return nil, &TransportError{Outcome: Drop, Peer: t.To}
+	case Reply5xx:
+		closeRequestBody(req)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("fault: injected 5xx\n")),
+			Request:    req,
+		}, nil
+	case Delay:
+		clk := t.Clock
+		if clk == nil {
+			clk = clock.Real{}
+		}
+		d := t.DelayFor
+		if d <= 0 {
+			d = 25 * time.Millisecond
+		}
+		select {
+		case <-clk.After(d):
+		case <-req.Context().Done():
+			closeRequestBody(req)
+			return nil, req.Context().Err()
+		}
+		return inner.RoundTrip(stripFaultHeaders(req))
+	case Duplicate:
+		// Deliver twice, returning the second response. The receiver side is
+		// idempotent by construction (content-addressed uploads, byte-
+		// deterministic detects), so the duplicate costs only wire bytes. A
+		// non-replayable streaming body cannot be sent twice; deliver once.
+		if req.Body == nil || req.GetBody != nil {
+			dup := req.Clone(req.Context())
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					closeRequestBody(req)
+					return nil, err
+				}
+				dup.Body = body
+			}
+			if resp, err := inner.RoundTrip(stripFaultHeaders(dup)); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return inner.RoundTrip(stripFaultHeaders(req))
+	default:
+		return inner.RoundTrip(stripFaultHeaders(req))
+	}
+}
+
+// stripFaultHeaders removes the schedule-coordinate headers before the
+// request leaves the process; they are addressing for the injector, not
+// protocol. The clone keeps the caller's request untouched for its own
+// retry bookkeeping.
+func stripFaultHeaders(req *http.Request) *http.Request {
+	if req.Header.Get(HeaderFaultKey) == "" && req.Header.Get(HeaderFaultAttempt) == "" {
+		return req
+	}
+	out := req.Clone(req.Context())
+	out.Header.Del(HeaderFaultKey)
+	out.Header.Del(HeaderFaultAttempt)
+	return out
+}
+
+// closeRequestBody honors the RoundTripper contract: the transport owns the
+// request body and must close it even when the exchange never happens.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}

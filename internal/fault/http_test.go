@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+)
+
+// always returns an injector whose probability chain always draws outcome o.
+func always(t *testing.T, o Outcome) *Injector {
+	t.Helper()
+	cfg := Config{Seed: 7}
+	switch o {
+	case Drop:
+		cfg.DropProb = 1
+	case Duplicate:
+		cfg.DupProb = 1
+	case Delay:
+		cfg.DelayProb = 1
+	case Reply5xx:
+		cfg.FailProb = 1
+	}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return inj
+}
+
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	tr := &Transport{Inj: always(t, Drop), To: 2}
+	hc := &http.Client{Transport: tr}
+	_, err := hc.Get(srv.URL + "/x")
+	if err == nil {
+		t.Fatal("expected injected drop error, got nil")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Outcome != Drop || te.Peer != 2 {
+		t.Fatalf("want TransportError{Drop, peer 2} in chain, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d times", hits.Load())
+	}
+}
+
+func TestTransportReply5xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{Inj: always(t, Reply5xx)}}
+	resp, err := hc.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want synthetic 503, got %d", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("5xx-failed request reached the server %d times", hits.Load())
+	}
+}
+
+func TestTransportDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	var bodies sync.Map
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies.Store(hits.Add(1), string(b))
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{Inj: always(t, Duplicate)}}
+	resp, err := hc.Post(srv.URL+"/x", "text/plain", bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicated request reached the server %d times, want 2", hits.Load())
+	}
+	for _, k := range []int64{1, 2} {
+		if v, _ := bodies.Load(k); v != "payload" {
+			t.Fatalf("delivery %d carried body %q, want %q", k, v, "payload")
+		}
+	}
+}
+
+func TestTransportDelayWaitsOnClock(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	fake := clock.NewFake(time.Unix(0, 0))
+	hc := &http.Client{Transport: &Transport{Inj: always(t, Delay), Clock: fake, DelayFor: time.Second}}
+
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := hc.Get(srv.URL + "/x")
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// The request must be parked on the fake clock, not completed.
+	for fake.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("request completed before the clock advanced: %v", err)
+	default:
+	}
+	fake.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestTransportKeyedDeterminism pins the property the chaos tier relies on:
+// the outcome of a keyed request is a function of (seed, key, attempt), not
+// of arrival order.
+func TestTransportKeyedDeterminism(t *testing.T) {
+	inj1, err := New(Config{Seed: 42, DropProb: 0.3, DupProb: 0.1, DelayProb: 0.1, FailProb: 0.2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	inj2, err := New(Config{Seed: 42, DropProb: 0.3, DupProb: 0.1, DelayProb: 0.1, FailProb: 0.2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr1 := &Transport{Inj: inj1, From: 0, To: 1}
+	tr2 := &Transport{Inj: inj2, From: 0, To: 1}
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	var seq1, seq2 []Outcome
+	for pass := 0; pass < 2; pass++ {
+		for _, k := range keys {
+			req, _ := http.NewRequest(http.MethodGet, "http://peer/v1/x", nil)
+			req.Header.Set(HeaderFaultKey, k)
+			seq1 = append(seq1, inj1.Outcome(tr1.step(req), 0, 1, 0))
+		}
+	}
+	// Second injector sees the keys in reverse order; same outcomes per key.
+	for pass := 0; pass < 2; pass++ {
+		for i := len(keys) - 1; i >= 0; i-- {
+			req, _ := http.NewRequest(http.MethodGet, "http://peer/v1/x", nil)
+			req.Header.Set(HeaderFaultKey, keys[i])
+			seq2 = append(seq2, inj2.Outcome(tr2.step(req), 0, 1, 0))
+		}
+	}
+	for i, k := range keys {
+		if a, b := seq1[i], seq2[len(keys)-1-i]; a != b {
+			t.Fatalf("key %s drew %s then %s across orderings", k, a, b)
+		}
+	}
+	if inj1.Stats() != inj2.Stats() {
+		t.Fatalf("stats diverged across orderings: %+v vs %+v", inj1.Stats(), inj2.Stats())
+	}
+}
+
+// TestTransportStripsFaultHeaders ensures schedule coordinates never reach
+// the receiving server.
+func TestTransportStripsFaultHeaders(t *testing.T) {
+	var gotKey, gotAttempt atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotKey.Store(r.Header.Get(HeaderFaultKey))
+		gotAttempt.Store(r.Header.Get(HeaderFaultAttempt))
+	}))
+	defer srv.Close()
+
+	inj, err := New(Config{Seed: 1, DelayProb: 0}) // disabled → nil injector
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hc := &http.Client{Transport: &Transport{Inj: inj}}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/x", nil)
+	req.Header.Set(HeaderFaultKey, "key")
+	req.Header.Set(HeaderFaultAttempt, "3")
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if gotKey.Load() != "" || gotAttempt.Load() != "" {
+		t.Fatalf("fault headers leaked to the server: key=%q attempt=%q", gotKey.Load(), gotAttempt.Load())
+	}
+}

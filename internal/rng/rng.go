@@ -31,6 +31,23 @@ func Hash64(x uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// HashString hashes a string to 64 bits: an FNV-1a pass over the bytes
+// followed by the SplitMix64 finalizer to spread the low-entropy FNV output
+// across all bits. Deterministic across runs and platforms, which makes it
+// safe for consistent-hash placement and fault-schedule coordinates.
+func HashString(s string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return Hash64(h)
+}
+
 // RNG is a xoshiro256** generator. The zero value is not valid; construct
 // with New.
 type RNG struct {

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"time"
+
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// Backoff is the capped exponential retry schedule for inter-replica calls,
+// with deterministic jitter so retry storms decorrelate without making test
+// runs irreproducible: the jitter is a pure function of (Seed, request key,
+// attempt), not of a shared random stream.
+type Backoff struct {
+	// Base is the wait before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 2s).
+	Max time.Duration
+	// Seed drives the jitter stream.
+	Seed uint64
+}
+
+func (b Backoff) normalize() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max < b.Base {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// Wait returns the pause before retry number attempt (1-based) of the
+// request identified by key: Base << (attempt-1) capped at Max, plus a
+// deterministic jitter in [0, wait/2).
+func (b Backoff) Wait(key uint64, attempt int) time.Duration {
+	b = b.normalize()
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 30 {
+		shift = 30
+	}
+	d := b.Base << uint(shift)
+	if d > b.Max || d <= 0 {
+		d = b.Max
+	}
+	u := float64(rng.Hash64(b.Seed^key^uint64(attempt))>>11) / (1 << 53)
+	return d + time.Duration(u*float64(d)/2)
+}

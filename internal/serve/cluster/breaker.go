@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer failed `threshold` consecutive times; requests
+	// are rejected locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is in
+	// flight, and its outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String names the state for logs, metrics, and /cluster/status.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerStats is a point-in-time snapshot of one breaker.
+type BreakerStats struct {
+	State     BreakerState `json:"-"`
+	StateName string       `json:"state"`
+	Trips     uint64       `json:"trips"`   // transitions into Open
+	Rejects   uint64       `json:"rejects"` // requests refused while Open/probing
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding one peer. It
+// trips open after `threshold` consecutive failures, stays open for
+// `cooldown` on the injected clock, then admits a single half-open probe
+// whose outcome either closes the breaker or re-opens it for another
+// cooldown. A cooldown of zero means every post-trip request is a probe —
+// the deterministic shape the chaos tier uses so breaker behaviour is a
+// function of the fault schedule, not of wall-clock timing.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clk       clock.Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    uint64
+	rejects  uint64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// (minimum 1) and cooling down for cooldown before each half-open probe.
+// clk is injectable for deterministic tests; nil means the real clock.
+func NewBreaker(threshold int, cooldown time.Duration, clk clock.Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clk: clk}
+}
+
+// Allow reports whether a request may be sent to the peer right now. Every
+// Allow() == true MUST be balanced by exactly one Report call; the half-open
+// probe slot is otherwise never released.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clk.Since(b.openedAt) < b.cooldown {
+			b.rejects++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.rejects++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds back the outcome of an allowed request. Success closes the
+// breaker and clears the failure streak; failure extends the streak and —
+// at threshold, or on any half-open probe — (re-)opens the breaker.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.clk.Now()
+		b.fails = 0
+		b.trips++
+	}
+}
+
+// State returns the breaker's current position (Open breakers whose cooldown
+// has elapsed still report Open until the next Allow transitions them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state, StateName: b.state.String(), Trips: b.trips, Rejects: b.rejects}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+)
+
+// TestBreakerTripAndRecover drives the full state machine on a fake clock:
+// closed → (threshold failures) → open → (cooldown) → half-open probe →
+// closed on success.
+func TestBreakerTripAndRecover(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(3, 10*time.Second, fake)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after 2/3 failures, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused the tripping request")
+	}
+	b.Report(false) // third consecutive failure: trip
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	fake.Advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request 1s before cooldown elapsed")
+	}
+	fake.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after successful probe, want closed", b.State())
+	}
+	if st := b.Stats(); st.Trips != 1 || st.Rejects != 3 {
+		t.Fatalf("stats %+v, want 1 trip / 3 rejects", st)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe re-opens the
+// breaker for another full cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(1, 5*time.Second, fake)
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	b.Report(false) // threshold 1: immediate trip
+	fake.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Report(false) // probe failed
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+	fake.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after second cooldown")
+	}
+	b.Report(true)
+	if st := b.Stats(); st.Trips != 2 {
+		t.Fatalf("%d trips, want 2", st.Trips)
+	}
+}
+
+// TestBreakerZeroCooldownAlwaysProbes: cooldown zero is the chaos-tier
+// shape — the breaker still counts trips but every post-trip call is a
+// probe, so behaviour is a function of the fault schedule alone.
+func TestBreakerZeroCooldownAlwaysProbes(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(1, 0, fake)
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("zero-cooldown breaker refused request %d", i)
+		}
+		b.Report(false)
+	}
+	if st := b.Stats(); st.Trips != 5 || st.Rejects != 0 {
+		t.Fatalf("stats %+v, want 5 trips / 0 rejects", st)
+	}
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after success, want closed", b.State())
+	}
+}
+
+// TestBreakerSuccessResetsStreak: interleaved successes keep a flaky peer's
+// breaker closed — only *consecutive* failures trip it.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Second, clock.NewFake(time.Unix(0, 0)))
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker refused request %d", i)
+		}
+		b.Report(i%2 == 0) // alternate success/failure: streak never reaches 3
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s under alternating outcomes, want closed", b.State())
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/fault"
+	"github.com/asamap/asamap/internal/rng"
+)
+
+// ErrPeerDown reports a call rejected locally because the peer's circuit
+// breaker refused it — no bytes were sent.
+type ErrPeerDown struct {
+	Peer  int
+	State BreakerState
+}
+
+func (e *ErrPeerDown) Error() string {
+	return fmt.Sprintf("cluster: peer %d rejected by %s circuit breaker", e.Peer, e.State)
+}
+
+// PeerResponse is a fully read HTTP exchange with a peer. Reading the body
+// eagerly keeps retry logic and connection reuse simple: by the time a
+// caller sees the response, the wire is already drained.
+type PeerResponse struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// PeerStats counts one peer client's activity.
+type PeerStats struct {
+	Requests       uint64 `json:"requests"`        // round trips attempted
+	Failures       uint64 `json:"failures"`        // transport errors and 5xx/429 answers
+	Retries        uint64 `json:"retries"`         // backoff waits taken between attempts
+	Timeouts       uint64 `json:"timeouts"`        // attempts abandoned at the peer timeout
+	BreakerTrips   uint64 `json:"breaker_trips"`   // times the breaker opened
+	BreakerRejects uint64 `json:"breaker_rejects"` // calls refused while open/probing
+}
+
+// PeerClient issues idempotent HTTP calls to one replica. Every call runs
+// the same gauntlet: circuit-breaker admission, a per-attempt timeout on the
+// injectable clock, and capped-exponential-backoff retries on transient
+// outcomes (transport errors, 5xx, 429). All asamapd endpoints are
+// idempotent by construction — uploads are content-addressed, detects are
+// bit-deterministic — so re-sending a request that may already have executed
+// is always safe.
+type PeerClient struct {
+	peer    int
+	base    string
+	hc      *http.Client
+	breaker *Breaker
+	retries int // retries after the first attempt
+	backoff Backoff
+	timeout time.Duration
+	clk     clock.Clock
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+	retried  atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// NewPeerClient builds the client for replica `peer` at baseURL. transport
+// is the injectable wire — the chaos tier passes a fault.Transport here —
+// and nil means http.DefaultTransport.
+func NewPeerClient(peer int, baseURL string, transport http.RoundTripper, cfg Config) *PeerClient {
+	cfg = cfg.withDefaults()
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	bo := cfg.PeerBackoff
+	bo.Seed = cfg.Seed ^ rng.Hash64(uint64(peer)+1)
+	return &PeerClient{
+		peer:    peer,
+		base:    baseURL,
+		hc:      &http.Client{Transport: transport},
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		retries: cfg.PeerRetries,
+		backoff: bo,
+		timeout: cfg.PeerTimeout,
+		clk:     cfg.Clock,
+	}
+}
+
+// Breaker exposes the peer's circuit breaker (metrics and tests).
+func (p *PeerClient) Breaker() *Breaker { return p.breaker }
+
+// Stats snapshots the client's counters.
+func (p *PeerClient) Stats() PeerStats {
+	bs := p.breaker.Stats()
+	return PeerStats{
+		Requests:       p.requests.Load(),
+		Failures:       p.failures.Load(),
+		Retries:        p.retried.Load(),
+		Timeouts:       p.timeouts.Load(),
+		BreakerTrips:   bs.Trips,
+		BreakerRejects: bs.Rejects,
+	}
+}
+
+// Do performs one idempotent exchange with the peer. It returns the final
+// response — fully read — for any authoritative HTTP answer, 4xx included,
+// and a non-nil error only when the breaker refused the call or every
+// attempt died at the transport level. faultKey addresses the request in an
+// injected fault schedule (set as X-Asamap-Fault-Key and stripped before
+// the wire), so chaos outcomes are a function of the request's identity,
+// not of the order concurrent requests happen to hit the transport.
+func (p *PeerClient) Do(ctx context.Context, method, pathAndQuery string, hdr http.Header, body []byte, faultKey string) (*PeerResponse, error) {
+	key := rng.HashString(method + " " + pathAndQuery + "|" + faultKey)
+	var lastResp *PeerResponse
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !p.breaker.Allow() {
+			if lastResp != nil || lastErr != nil {
+				return lastResp, lastErr // breaker tripped mid-retry: surface the real outcome
+			}
+			return nil, &ErrPeerDown{Peer: p.peer, State: p.breaker.State()}
+		}
+		p.requests.Add(1)
+		resp, err := p.once(ctx, method, pathAndQuery, hdr, body, faultKey, attempt)
+		ok := err == nil && resp.Status < 500 && resp.Status != http.StatusTooManyRequests
+		p.breaker.Report(ok)
+		if ok {
+			return resp, nil
+		}
+		p.failures.Add(1)
+		lastResp, lastErr = resp, err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= p.retries {
+			return lastResp, lastErr
+		}
+		p.retried.Add(1)
+		select {
+		case <-p.clk.After(p.backoff.Wait(key, attempt+1)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// once runs a single attempt under the per-attempt timeout. The timeout is
+// observed on the injectable clock: the exchange runs in a goroutine whose
+// request context is canceled when the clock fires, and the goroutine is
+// always joined before returning — an abandoned attempt cannot outlive the
+// call or leak.
+func (p *PeerClient) once(ctx context.Context, method, pathAndQuery string, hdr http.Header, body []byte, faultKey string, attempt int) (*PeerResponse, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(cctx, method, p.base+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if faultKey != "" {
+		req.Header.Set(fault.HeaderFaultKey, faultKey)
+	}
+	req.Header.Set(fault.HeaderFaultAttempt, strconv.Itoa(attempt))
+
+	type result struct {
+		resp *PeerResponse
+		err  error
+	}
+	done := make(chan result, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := p.hc.Do(req)
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			done <- result{nil, err} // a torn body is a transport failure
+			return
+		}
+		done <- result{&PeerResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil}
+	}()
+
+	var timeoutCh <-chan time.Time
+	if p.timeout > 0 {
+		timeoutCh = p.clk.After(p.timeout)
+	}
+	select {
+	case r := <-done:
+		wg.Wait()
+		return r.resp, r.err
+	case <-timeoutCh:
+		cancel() // aborts the in-flight exchange through the request context
+		r := <-done
+		wg.Wait()
+		if r.err != nil {
+			p.timeouts.Add(1)
+			return nil, fmt.Errorf("cluster: peer %d timed out after %s: %w", p.peer, p.timeout, r.err)
+		}
+		return r.resp, nil // the exchange won the race after all — keep it
+	}
+}

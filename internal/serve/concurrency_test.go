@@ -108,7 +108,7 @@ func TestQueueSaturationExactlyOne429(t *testing.T) {
 	// Gate: jobs block until released, so all K admission tokens stay held
 	// while the K+1st request arrives — saturation is exact by construction.
 	release := make(chan struct{})
-	s.queue.setTestGate(func() { <-release })
+	s.queue.setTestGate(func(*queueJob) { <-release })
 
 	// K+1 requests with distinct seeds (identical seeds would coalesce in
 	// the cache, never reaching the queue).
@@ -206,7 +206,15 @@ func TestClientDisconnectCancelsInFlightJob(t *testing.T) {
 
 	var startedOnce sync.Once
 	started := make(chan struct{})
-	s.queue.setTestGate(func() { startedOnce.Do(func() { close(started) }) })
+	// The gate publishes that the job reached a worker, then holds it until
+	// its context is actually canceled. Without the hold, a fast machine can
+	// finish the whole run before the client's disconnect propagates to the
+	// server, and the job counts as completed instead of canceled — the
+	// cancellation must win by construction, not by racing the sweep loop.
+	s.queue.setTestGate(func(j *queueJob) {
+		startedOnce.Do(func() { close(started) })
+		<-j.ctx.Done()
+	})
 
 	reqCtx, cancel := context.WithCancel(ctx)
 	done := make(chan error, 1)
@@ -246,7 +254,7 @@ func TestClientDisconnectCancelsInFlightJob(t *testing.T) {
 // TestCancelWhileQueuedSkipsRun: a job whose client disconnects while still
 // waiting in the queue must be skipped without executing.
 func TestCancelWhileQueuedSkipsRun(t *testing.T) {
-	q := NewQueue(4, 1, nil)
+	q := NewQueue(4, 1, nil, 0)
 	defer q.Close()
 
 	block := make(chan struct{})
@@ -288,7 +296,7 @@ func TestCancelWhileQueuedSkipsRun(t *testing.T) {
 // TestQueueCloseRejectsNewJobs: submissions after Close fail fast with
 // ErrQueueClosed instead of hanging.
 func TestQueueCloseRejectsNewJobs(t *testing.T) {
-	q := NewQueue(2, 1, nil)
+	q := NewQueue(2, 1, nil, 0)
 	q.Close()
 	if _, err := q.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrQueueClosed) {
 		t.Fatalf("Submit after Close returned %v", err)

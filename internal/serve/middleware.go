@@ -32,6 +32,12 @@ func requestSpan(ctx context.Context) *obs.Span {
 	return nil
 }
 
+// RequestSpan returns the root span the observability middleware opened for
+// this request, or nil (a no-op span) outside a middleware-wrapped handler.
+// The cluster node uses it to annotate requests with their routing path
+// (forwarded, degraded, peer-cache) without re-implementing the middleware.
+func RequestSpan(ctx context.Context) *obs.Span { return requestSpan(ctx) }
+
 // requestLogger returns the request-ID-tagged logger, or the fallback when
 // the handler runs outside the middleware.
 func requestLogger(ctx context.Context, fallback *slog.Logger) *slog.Logger {

@@ -25,6 +25,14 @@ func (e *ErrQueueFull) Error() string {
 // ErrQueueClosed is returned by Submit after Close.
 var ErrQueueClosed = errors.New("serve: job queue closed")
 
+// DefaultRetryAfterPrior is the assumed mean job duration before the first
+// completed job seeds the EWMA. Without a prior, every cold-start Retry-After
+// estimate collapses to the one-second floor regardless of queue depth — a
+// saturated just-started server would invite the whole thundering herd back
+// at once. One second is deliberately pessimistic for small graphs: clients
+// that arrive during warmup back off harder, not softer.
+const DefaultRetryAfterPrior = time.Second
+
 // QueueStats is a point-in-time snapshot of queue activity.
 type QueueStats struct {
 	Capacity    int    `json:"capacity"`
@@ -54,14 +62,17 @@ type Queue struct {
 	mu       sync.Mutex
 	closed   bool
 	ewma     time.Duration // exponentially weighted mean job duration
+	prior    time.Duration // stands in for the EWMA until the first sample
 	waitHist *trace.Histogram
 	counters struct {
 		submitted, rejected, completed, canceled uint64
 	}
 
-	// testGate, when set, is called by workers before running each job; tests
-	// use it to hold jobs in flight so saturation is exact, never timing-luck.
-	testGate func()
+	// testGate, when set, is called by workers with each job before running
+	// it; tests use it to hold jobs in flight so saturation is exact, never
+	// timing-luck, and to await a job's cancellation so disconnect tests are
+	// propagation-race-free.
+	testGate func(*queueJob)
 }
 
 type queueJob struct {
@@ -74,7 +85,10 @@ type queueJob struct {
 
 // NewQueue starts workers goroutines draining a queue with the given
 // outstanding-job capacity. clk is injectable for deterministic tests.
-func NewQueue(capacity, workers int, clk clock.Clock) *Queue {
+// prior is the assumed mean job duration used for Retry-After estimates
+// before the first completed job seeds the EWMA; non-positive takes
+// DefaultRetryAfterPrior.
+func NewQueue(capacity, workers int, clk clock.Clock, prior time.Duration) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -84,10 +98,14 @@ func NewQueue(capacity, workers int, clk clock.Clock) *Queue {
 	if clk == nil {
 		clk = clock.Real{}
 	}
+	if prior <= 0 {
+		prior = DefaultRetryAfterPrior
+	}
 	q := &Queue{
 		capacity: capacity,
 		workers:  workers,
 		clk:      clk,
+		prior:    prior,
 		jobs:     make(chan *queueJob, capacity),
 		sem:      make(chan struct{}, capacity),
 	}
@@ -118,7 +136,7 @@ func (q *Queue) worker() {
 	defer q.wg.Done()
 	for j := range q.jobs {
 		if gate := q.gate(); gate != nil {
-			gate()
+			gate(j)
 		}
 		if h := q.wait(); h != nil {
 			h.Observe(q.clk.Since(j.submitted))
@@ -141,14 +159,14 @@ func (q *Queue) worker() {
 	}
 }
 
-func (q *Queue) gate() func() {
+func (q *Queue) gate() func(*queueJob) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.testGate
 }
 
 // setTestGate installs fn to run at the start of every job (tests only).
-func (q *Queue) setTestGate(fn func()) {
+func (q *Queue) setTestGate(fn func(*queueJob)) {
 	q.mu.Lock()
 	q.testGate = fn
 	q.mu.Unlock()
@@ -178,10 +196,15 @@ func (q *Queue) observe(d time.Duration) {
 
 // RetryAfter estimates how long a rejected client should wait before
 // retrying: the mean job duration times the number of queue "rounds" ahead
-// of it, floored at one second so the header is never zero.
+// of it, floored at one second so the header is never zero. Until the first
+// completed job seeds the EWMA, the configured prior stands in for the mean
+// so cold-start estimates still scale with queue depth.
 func (q *Queue) RetryAfter() time.Duration {
 	q.mu.Lock()
 	ewma := q.ewma
+	if ewma == 0 {
+		ewma = q.prior
+	}
 	q.mu.Unlock()
 	outstanding := len(q.sem)
 	rounds := (outstanding + q.workers - 1) / q.workers

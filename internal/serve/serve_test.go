@@ -335,7 +335,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 
 func TestQueueRetryAfterUsesInjectedClock(t *testing.T) {
 	fake := clock.NewFake(time.Unix(0, 0))
-	q := NewQueue(2, 1, fake)
+	q := NewQueue(2, 1, fake, 0)
 	defer q.Close()
 	// No history: floor of one second.
 	if got := q.RetryAfter(); got != time.Second {

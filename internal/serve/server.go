@@ -57,6 +57,10 @@ type Config struct {
 	// JobTimeout bounds one detection run's wall clock (0 = unbounded);
 	// it composes with the client's own disconnect/cancellation.
 	JobTimeout time.Duration
+	// RetryAfterPrior seeds the queue's mean-job-duration estimate used for
+	// cold-start Retry-After headers, before the first completed job trains
+	// the EWMA; non-positive takes DefaultRetryAfterPrior.
+	RetryAfterPrior time.Duration
 	// Clock is injectable for deterministic tests; nil means the real clock.
 	Clock clock.Clock
 	// Logger receives the structured request/error log; nil discards.
@@ -70,12 +74,13 @@ type Config struct {
 // concurrent runs, 256 cached results, 64 MiB uploads, 5 minute job cap.
 func DefaultConfig() Config {
 	return Config{
-		QueueCapacity:  16,
-		Workers:        2,
-		CacheEntries:   256,
-		MaxUploadBytes: 64 << 20,
-		JobTimeout:     5 * time.Minute,
-		Clock:          clock.Real{},
+		QueueCapacity:   16,
+		Workers:         2,
+		CacheEntries:    256,
+		MaxUploadBytes:  64 << 20,
+		JobTimeout:      5 * time.Minute,
+		RetryAfterPrior: DefaultRetryAfterPrior,
+		Clock:           clock.Real{},
 	}
 }
 
@@ -133,7 +138,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		registry: NewRegistry(),
-		queue:    NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.Clock),
+		queue:    NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.Clock, cfg.RetryAfterPrior),
 		cache:    NewResultCache(cfg.CacheEntries),
 		agg:      trace.NewBreakdown(),
 		started:  started,
@@ -148,7 +153,9 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphInfo)
+	mux.HandleFunc("GET /v1/graphs/{hash}/data", s.handleGraphData)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTraceDebug)
@@ -165,6 +172,15 @@ func New(cfg Config) *Server {
 // observability middleware (request IDs, root spans, panic recovery, latency
 // histogram, structured request log).
 func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
+
+// Mux returns the raw route mux without the observability middleware. The
+// cluster node composes it under its own mux and applies Wrap exactly once
+// around the union, so cluster-routed and locally served requests share one
+// middleware layer (and Handler-style double wrapping is avoided).
+func (s *Server) Mux() http.Handler { return s.mux }
+
+// Wrap applies the server's observability middleware to an arbitrary handler.
+func (s *Server) Wrap(next http.Handler) http.Handler { return s.middleware(next) }
 
 // Close drains the job queue and releases the workers.
 func (s *Server) Close() { s.queue.Close() }
@@ -290,6 +306,37 @@ type DetectResponse struct {
 	Membership         []uint32      `json:"membership"`
 }
 
+// detectKey joins the three coordinates that fully determine a response body.
+func detectKey(graphHash, fingerprint string, seed uint64) string {
+	return graphHash + "|" + fingerprint + "|" + strconv.FormatUint(seed, 10)
+}
+
+// DetectKey returns the result-cache key for (graph hash, wire options):
+// canonical graph hash, options fingerprint, and effective seed. Because a
+// run is bit-deterministic given this key, it is also the replication unit
+// the cluster router shards and the coordinate peer cache fetches address.
+func DetectKey(graphHash string, d DetectOptions) (string, error) {
+	opt, err := d.toOptions()
+	if err != nil {
+		return "", err
+	}
+	return detectKey(graphHash, opt.Fingerprint(), opt.Seed), nil
+}
+
+// CachePeek returns the cached response bytes for a detect key without
+// computing anything. It backs GET /v1/cache/{key}, the peer result-cache
+// fetch path.
+func (s *Server) CachePeek(key string) ([]byte, bool) {
+	return s.cache.get(key)
+}
+
+// CacheSeed inserts precomputed response bytes under a detect key. The
+// cluster layer uses it to adopt a peer's result: byte-replay determinism
+// makes a peer-computed body indistinguishable from a local one.
+func (s *Server) CacheSeed(key string, body []byte) {
+	s.cache.put(key, body)
+}
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	directed := false
 	switch v := r.URL.Query().Get("directed"); v {
@@ -333,6 +380,39 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleGraphData streams the canonical edge list of a registered graph, the
+// transfer format peers use to replicate graphs on demand: re-registering
+// the download yields the same canonical hash on the receiving side.
+func (s *Server) handleGraphData(w http.ResponseWriter, r *http.Request) {
+	g, info, ok := s.registry.Get(r.PathValue("hash"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown graph hash")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Asamap-Directed", strconv.FormatBool(info.Directed))
+	if err := g.WriteEdgeList(w); err != nil {
+		// Headers are gone; the broken stream is the only signal left.
+		requestLogger(r.Context(), s.logger).Warn("graph data stream failed",
+			"graph", info.Hash, "error", err.Error())
+	}
+}
+
+// handleCachePeek serves the cached response bytes for a detect key, or 404.
+// It never computes: peers use it to harvest each other's result caches
+// before paying for a recompute.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.cache.get(r.PathValue("key"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "key not cached")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Asamap-Cache", string(CacheHit))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req DetectRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -352,7 +432,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := opt.Fingerprint()
-	key := req.Graph + "|" + fp + "|" + strconv.FormatUint(opt.Seed, 10)
+	key := detectKey(req.Graph, fp, opt.Seed)
 	// Nest the run's span tree under this request's root span. Tracing is
 	// excluded from the fingerprint, so the cache key is unaffected.
 	opt.Trace = requestSpan(r.Context())
