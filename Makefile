@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race fuzz-smoke bench-smoke chaos-smoke all
+.PHONY: build test lint race fuzz-smoke bench-smoke bench-accum chaos-smoke all
 
 all: build lint test
 
@@ -25,6 +25,13 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=Sched -benchtime=1x ./...
+
+# bench-accum regenerates the accumulator backend sweep at quick scale and
+# verifies the committed BENCH_accum.json still matches the schema and the
+# probe-free acceptance invariants.
+bench-accum:
+	$(GO) run ./cmd/asabench -exp accum -quick -json BENCH_accum_ci.json
+	$(GO) test -run 'TestAccumQuick|TestCommittedAccumArtifact' ./internal/bench
 
 # chaos-smoke exercises the replicated service under the seeded fault
 # injector (race detector on), then drives an in-process 3-replica cluster

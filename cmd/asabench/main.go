@@ -8,6 +8,10 @@
 //	asabench -list                    # show available experiments
 //	asabench -exp fig6 -quick         # small replicas (seconds, not minutes)
 //	asabench -exp fig8 -scale 128     # override the replica scale divisor
+//	asabench -exp accum -json BENCH_accum.json
+//	                                  # accumulator backend sweep
+//	                                  # (gomap/softhash/asa/hashgraph) with a
+//	                                  # machine-readable artifact
 package main
 
 import (

@@ -37,7 +37,7 @@ func main() {
 	in := flag.String("in", "", "input edge-list file (SNAP format); required")
 	out := flag.String("out", "", "output file for 'vertex<TAB>module' lines (default: stdout summary only)")
 	directed := flag.Bool("directed", false, "treat edges as directed arcs")
-	accumKind := flag.String("accum", "baseline", "accumulator backend: baseline | asa | gomap")
+	accumKind := flag.String("accum", "baseline", "accumulator backend: baseline | asa | gomap | hashgraph")
 	camKB := flag.Int("cam-kb", 8, "CAM size in KB for the asa backend")
 	workers := flag.Int("workers", 1, "parallel workers (0 = all CPUs)")
 	schedPolicy := flag.String("sched", "steal", "sweep scheduling policy: steal | static")
@@ -104,6 +104,8 @@ func main() {
 		opt.ASAConfig = asa.Config{CapacityBytes: *camKB * 1024, EntryBytes: 16, Policy: asa.LRU}
 	case "gomap":
 		opt.Kind = infomap.GoMap
+	case "hashgraph":
+		opt.Kind = infomap.HashGraph
 	default:
 		fatal(fmt.Errorf("unknown -accum %q", *accumKind))
 	}
@@ -211,6 +213,8 @@ func main() {
 			name = "asa"
 		case infomap.GoMap:
 			name = "gomap"
+		case infomap.HashGraph:
+			name = "hashgraph"
 		}
 		hash, err := model.AccumCost(name, res.TotalStats())
 		if err != nil {

@@ -35,6 +35,9 @@ type Stats struct {
 	Evictions   uint64 // ASA: LRU evictions into the overflow queue
 	OverflowKV  uint64 // ASA: pairs that passed through the overflow queue
 	MergedKV    uint64 // ASA: pairs processed by sort_and_merge
+	BinnedKV    uint64 // hashgraph: pairs hashed and counted into bins (resolve pass 1)
+	ScatteredKV uint64 // hashgraph: pairs scattered into contiguous bin slots (resolve pass 2)
+	BinMergedKV uint64 // hashgraph: duplicate pairs folded during the in-bin merge
 	Gathers     uint64 // Gather calls
 	GatheredKV  uint64 // pairs copied out by Gather
 	Resets      uint64 // Reset calls
@@ -52,6 +55,9 @@ func (s *Stats) Add(other Stats) {
 	s.Evictions += other.Evictions
 	s.OverflowKV += other.OverflowKV
 	s.MergedKV += other.MergedKV
+	s.BinnedKV += other.BinnedKV
+	s.ScatteredKV += other.ScatteredKV
+	s.BinMergedKV += other.BinMergedKV
 	s.Gathers += other.Gathers
 	s.GatheredKV += other.GatheredKV
 	s.Resets += other.Resets
@@ -77,6 +83,9 @@ func (s Stats) Sub(other Stats) Stats {
 		Evictions:   d(s.Evictions, other.Evictions),
 		OverflowKV:  d(s.OverflowKV, other.OverflowKV),
 		MergedKV:    d(s.MergedKV, other.MergedKV),
+		BinnedKV:    d(s.BinnedKV, other.BinnedKV),
+		ScatteredKV: d(s.ScatteredKV, other.ScatteredKV),
+		BinMergedKV: d(s.BinMergedKV, other.BinMergedKV),
 		Gathers:     d(s.Gathers, other.Gathers),
 		GatheredKV:  d(s.GatheredKV, other.GatheredKV),
 		Resets:      d(s.Resets, other.Resets),

@@ -32,14 +32,21 @@ func TestMapAccumulator(t *testing.T) {
 func TestStatsAdd(t *testing.T) {
 	a := Stats{Accumulates: 1, Hits: 2, Misses: 3, ChainHops: 4, Inserts: 5,
 		Rehashes: 6, Evictions: 7, OverflowKV: 8, MergedKV: 9, Gathers: 10,
-		GatheredKV: 11, Resets: 12}
+		GatheredKV: 11, Resets: 12, BinnedKV: 13, ScatteredKV: 14, BinMergedKV: 15}
 	b := a
 	a.Add(b)
 	if a.Accumulates != 2 || a.Resets != 24 || a.MergedKV != 18 ||
 		a.Hits != 4 || a.Misses != 6 || a.ChainHops != 8 || a.Inserts != 10 ||
 		a.Rehashes != 12 || a.Evictions != 14 || a.OverflowKV != 16 ||
-		a.Gathers != 20 || a.GatheredKV != 22 {
+		a.Gathers != 20 || a.GatheredKV != 22 ||
+		a.BinnedKV != 26 || a.ScatteredKV != 28 || a.BinMergedKV != 30 {
 		t.Fatalf("Add wrong: %+v", a)
+	}
+	if d := a.Sub(b); d != b {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	if d := b.Sub(a); d != (Stats{}) {
+		t.Fatalf("Sub underflow should clamp to zero: %+v", d)
 	}
 }
 

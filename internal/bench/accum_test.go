@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAccumQuick runs the accumulator sweep end to end in quick mode and
+// checks the invariants the committed artifact is built on: every backend
+// appears on every network, every row is bit-identical to the gomap oracle
+// (runAccum fails hard otherwise), and the JSON round-trips through the
+// schema with no unknown fields.
+func TestAccumQuick(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "accum.json")
+	cfg := QuickConfig()
+	cfg.JSONPath = jsonPath
+	e, err := ByID("accum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(cfg, &buf); err != nil {
+		t.Fatalf("accum: %v\n%s", err, buf.String())
+	}
+	report := decodeAccumReport(t, jsonPath)
+	if !report.Quick {
+		t.Error("quick run not flagged in artifact")
+	}
+	checkAccumReport(t, report)
+}
+
+// TestCommittedAccumArtifact guards the repository's committed
+// BENCH_accum.json: the schema must match this package's structs exactly
+// (DisallowUnknownFields catches drift in either direction via the test
+// above), every backend must be present, and the artifact must witness the
+// acceptance claims — hashgraph is probe-free and its modeled accumulator
+// cycles beat softhash on the skewed-degree workload.
+func TestCommittedAccumArtifact(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_accum.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed artifact missing: %v (regenerate with `asabench -exp accum -json BENCH_accum.json`)", err)
+	}
+	report := decodeAccumReport(t, path)
+	if report.Quick {
+		t.Error("committed artifact was generated in quick mode; regenerate at full scale")
+	}
+	if report.SchemaVersion != AccumSchemaVersion {
+		t.Errorf("artifact schema version %d, package expects %d — regenerate",
+			report.SchemaVersion, AccumSchemaVersion)
+	}
+	checkAccumReport(t, report)
+}
+
+func decodeAccumReport(t *testing.T, path string) accumReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var report accumReport
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("%s does not match the accum schema: %v", path, err)
+	}
+	return report
+}
+
+// checkAccumReport asserts the structural and acceptance invariants shared
+// by quick and committed artifacts.
+func checkAccumReport(t *testing.T, report accumReport) {
+	t.Helper()
+	if report.Experiment != "accum" {
+		t.Errorf("experiment %q, want accum", report.Experiment)
+	}
+	if report.Workers != 1 {
+		t.Errorf("artifact ran with %d workers; must be 1 for reproducible probe counters", report.Workers)
+	}
+	wantBackends := []string{"gomap", "softhash", "asa", "hashgraph"}
+	perNetwork := map[string]map[string]accumRow{}
+	for _, row := range report.Rows {
+		if perNetwork[row.Network] == nil {
+			perNetwork[row.Network] = map[string]accumRow{}
+		}
+		perNetwork[row.Network][row.Backend] = row
+	}
+	if len(perNetwork) != len(accumNetworks) {
+		t.Errorf("artifact covers %d networks, want %d", len(perNetwork), len(accumNetworks))
+	}
+	for _, name := range accumNetworks {
+		rows, ok := perNetwork[name]
+		if !ok {
+			t.Errorf("network %s missing from artifact", name)
+			continue
+		}
+		for _, backend := range wantBackends {
+			row, ok := rows[backend]
+			if !ok {
+				t.Errorf("%s: backend %s missing", name, backend)
+				continue
+			}
+			if !row.BitIdentical {
+				t.Errorf("%s/%s: not bit-identical to the gomap oracle", name, backend)
+			}
+			if row.Accumulates == 0 || row.AccumCycles <= 0 {
+				t.Errorf("%s/%s: empty counters: %+v", name, backend, row)
+			}
+		}
+		hg, sh := rows["hashgraph"], rows["softhash"]
+		if hg.ChainHops != 0 || hg.Rehashes != 0 {
+			t.Errorf("%s: hashgraph reported probe events (hops=%d rehashes=%d)",
+				name, hg.ChainHops, hg.Rehashes)
+		}
+		if hg.BinnedKV != hg.Accumulates || hg.ScatteredKV != hg.Accumulates {
+			t.Errorf("%s: hashgraph resolve passes did not cover every pair: %+v", name, hg)
+		}
+		if sh.BinnedKV != 0 || sh.ScatteredKV != 0 || sh.BinMergedKV != 0 {
+			t.Errorf("%s: softhash reported hashgraph-only counters: %+v", name, sh)
+		}
+	}
+	// The headline acceptance claim: on the skewed-degree workload the
+	// probe-free resolve costs no more modeled cycles than chained probing.
+	skew := perNetwork[report.SkewedNetwork]
+	if skew == nil {
+		t.Fatalf("skewed network %q has no rows", report.SkewedNetwork)
+	}
+	if hg, sh := skew["hashgraph"], skew["softhash"]; hg.AccumCycles > sh.AccumCycles {
+		t.Errorf("%s: hashgraph accum cycles %.0f exceed softhash %.0f",
+			report.SkewedNetwork, hg.AccumCycles, sh.AccumCycles)
+	}
+	if !strings.EqualFold(report.Machine, "baseline") {
+		t.Errorf("artifact modeled on machine %q, want baseline", report.Machine)
+	}
+}

@@ -89,6 +89,7 @@ var Experiments = []Experiment{
 	{"cachesim", "X6: trace-driven cache simulation of hash probes", runCacheSim},
 	{"distributed", "X7: distributed-memory (hybrid) simulation, rank sweep", runDistributed},
 	{"sched", "X8: sweep scheduling — static vs work stealing", runSched},
+	{"accum", "X9: accumulator backend sweep — gomap/softhash/asa/hashgraph", runAccum},
 }
 
 // ByID returns the experiment with the given ID.
@@ -186,6 +187,8 @@ func accumName(kind infomap.AccumKind) string {
 		return "softhash"
 	case infomap.ASA:
 		return "asa"
+	case infomap.HashGraph:
+		return "hashgraph"
 	default:
 		return "gomap"
 	}

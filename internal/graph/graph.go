@@ -144,6 +144,34 @@ func (g *Graph) MaxOutDegree() int {
 	return max
 }
 
+// MaxInDegree returns the largest in-degree in the graph, or 0 if empty.
+// For undirected graphs the in-CSR aliases the out-CSR, so this equals
+// MaxOutDegree.
+func (g *Graph) MaxInDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.InDegree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxDegree returns the largest of MaxOutDegree and MaxInDegree — the upper
+// bound on any vertex's neighborhood size, and therefore on the number of
+// distinct modules one FindBestCommunity accumulator session can hold. The
+// infomap kernel sizes its per-worker accumulators from it.
+func (g *Graph) MaxDegree() int {
+	out := g.MaxOutDegree()
+	if !g.directed {
+		return out
+	}
+	if in := g.MaxInDegree(); in > out {
+		return in
+	}
+	return out
+}
+
 // DegreeHistogram returns hist where hist[k] is the number of vertices with
 // out-degree k. The slice has length MaxOutDegree()+1 (length 1 for an empty
 // graph). This is the raw data behind the paper's Figure 4.

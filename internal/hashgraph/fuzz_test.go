@@ -1,0 +1,71 @@
+package hashgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asamap/asamap/internal/accum"
+)
+
+// FuzzHashGraphOracle: any accumulate sequence against any (tiny) table must
+// match the map-accumulator oracle after resolve, never panic, survive a
+// mid-stream Lookup (which forces a resolve-then-reaccumulate interleaving),
+// and come back empty after Reset.
+func FuzzHashGraphOracle(f *testing.F) {
+	// Duplicate-heavy stream: every pair folds into one bin entry.
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5}, uint8(1))
+	// Single-bin collision stream: with few bins, stride-by-bins keys all
+	// land in bin 0 and exercise the in-bin duplicate scan.
+	f.Add([]byte{0, 4, 8, 12, 16, 20, 24, 28}, uint8(4))
+	f.Add([]byte{1, 2, 3, 1, 2, 3}, uint8(2))
+	f.Add([]byte{0}, uint8(0))
+	f.Add([]byte{255, 254, 253, 252, 251}, uint8(7))
+	f.Fuzz(func(t *testing.T, keys []byte, hintRaw uint8) {
+		h := New(int(hintRaw) % 16) // include hint<=0 to cover the default path
+		oracle := accum.NewMap(4)
+		for i, k := range keys {
+			key := uint32(k % 64)
+			val := float64(i%7) + 0.5
+			h.Accumulate(key, val)
+			oracle.Accumulate(key, val)
+			if i == len(keys)/2 {
+				// Mid-stream read: forces a resolve with more pairs to come,
+				// exercising the session hit/miss delta accounting.
+				hv, hok := h.Lookup(key)
+				ov, ook := oracle.Lookup(key)
+				if hok != ook || math.Abs(hv-ov) > 1e-9 {
+					t.Fatalf("mid-stream Lookup(%d) = %g,%v; oracle %g,%v", key, hv, hok, ov, ook)
+				}
+			}
+		}
+		got := h.Gather(nil)
+		want := oracle.Gather(nil)
+		if len(got) != len(want) {
+			t.Fatalf("%d keys gathered, oracle has %d", len(got), len(want))
+		}
+		sums := make(map[uint32]float64, len(want))
+		for _, kv := range want {
+			sums[kv.Key] = kv.Value
+		}
+		for _, kv := range got {
+			ov, ok := sums[kv.Key]
+			if !ok {
+				t.Fatalf("phantom key %d", kv.Key)
+			}
+			if math.Abs(kv.Value-ov) > 1e-9 {
+				t.Fatalf("key %d: %g vs oracle %g", kv.Key, kv.Value, ov)
+			}
+		}
+		st := h.Stats()
+		if st.ChainHops != 0 || st.Rehashes != 0 {
+			t.Fatalf("probe-free contract violated: %+v", st)
+		}
+		if st.Hits+st.Misses != st.Accumulates {
+			t.Fatalf("hit/miss accounting off: %+v", st)
+		}
+		h.Reset()
+		if out := h.Gather([]accum.KV{}); len(out) != 0 {
+			t.Fatalf("reset table still holds %v", out)
+		}
+	})
+}

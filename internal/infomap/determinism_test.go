@@ -44,7 +44,7 @@ func lfrPair(t *testing.T) (und, dir *graph.Graph) {
 // reproduce it bit for bit.
 func TestDeterministicAcrossWorkers(t *testing.T) {
 	und, dir := lfrPair(t)
-	for _, kind := range []AccumKind{Baseline, ASA} {
+	for _, kind := range []AccumKind{Baseline, ASA, HashGraph} {
 		for _, tc := range []struct {
 			name string
 			g    *graph.Graph
@@ -88,6 +88,93 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestHashGraphMatchesBaseline: every accumulator backend computes the same
+// sums, so HashGraph runs must partition byte-identically to the chained
+// Baseline table — across worker counts and both schedulers. This is the
+// cross-backend half of the determinism contract: switching the accumulator
+// is a pure performance decision, never a quality one.
+func TestHashGraphMatchesBaseline(t *testing.T) {
+	und, dir := lfrPair(t)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"undirected", und},
+		{"directed", dir},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.Kind = Baseline
+			opt.Workers = 1
+			opt.Sched = SchedStatic
+			ref, err := Run(tc.g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, policy := range []SchedPolicy{SchedStatic, SchedSteal} {
+					opt := DefaultOptions()
+					opt.Kind = HashGraph
+					opt.Workers = workers
+					opt.Sched = policy
+					res, err := Run(tc.g, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("workers=%d sched=%v", workers, policy)
+					if math.Float64bits(res.Codelength) != math.Float64bits(ref.Codelength) {
+						t.Fatalf("%s: hashgraph codelength %.17g != baseline %.17g",
+							label, res.Codelength, ref.Codelength)
+					}
+					for v := range res.Membership {
+						if res.Membership[v] != ref.Membership[v] {
+							t.Fatalf("%s: membership diverges from baseline at vertex %d",
+								label, v)
+						}
+					}
+					st := res.TotalStats()
+					if st.ChainHops != 0 || st.Rehashes != 0 {
+						t.Fatalf("%s: hashgraph reported probe events: %+v", label, st)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCapacityHintAvoidsRehash: worker accumulators are sized from the
+// graph's max degree, so a single-level Baseline run — where every session
+// holds at most maxdeg distinct keys — must never rehash. A hub graph (one
+// vertex adjacent to everything) is the worst case the old fixed hint of 64
+// lost on.
+func TestCapacityHintAvoidsRehash(t *testing.T) {
+	const n = 600
+	b := graph.NewBuilder(n, false)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, uint32(v), 1); err != nil {
+			t.Fatal(err)
+		}
+		// A sparse ring so communities beyond the star exist.
+		if err := b.AddEdge(uint32(v), uint32(v%(n-1)+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.MaxDegree() < n-1 {
+		t.Fatalf("hub degree %d, want >= %d", g.MaxDegree(), n-1)
+	}
+	opt := DefaultOptions()
+	opt.Kind = Baseline
+	opt.MaxLevels = 1 // contraction could exceed the leaf-level degree bound
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.TotalStats(); st.Rehashes != 0 {
+		t.Fatalf("degree-derived capacity hint still rehashed %d times: %+v", st.Rehashes, st)
 	}
 }
 

@@ -97,9 +97,17 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	bd.Add(trace.KernelPageRank, clk.Since(prStart))
 	prSpan.End()
 
+	// Size each worker's accumulators for the largest neighborhood they can
+	// see: one session holds at most one entry per distinct neighbor module,
+	// bounded by the vertex degree. Deriving the hint from the graph instead
+	// of a fixed constant keeps large-hub (power-law) graphs from paying
+	// rehash/growth churn in every hot session. Contracted levels can in
+	// principle exceed the leaf bound (a sparse graph may contract to a dense
+	// quotient), so the hint is a starting size, not a hard capacity.
+	accumHint := g.MaxDegree()
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
-		w, err := newWorker(i, opt)
+		w, err := newWorker(i, opt, accumHint)
 		if err != nil {
 			return nil, err
 		}
@@ -284,6 +292,9 @@ func addAccumEvents(bd *trace.Breakdown, prefix string, s accum.Stats) {
 	bd.AddEvents(prefix+"AccumEvictions", s.Evictions)
 	bd.AddEvents(prefix+"AccumOverflowKV", s.OverflowKV)
 	bd.AddEvents(prefix+"AccumMergedKV", s.MergedKV)
+	bd.AddEvents(prefix+"AccumBinnedKV", s.BinnedKV)
+	bd.AddEvents(prefix+"AccumScatteredKV", s.ScatteredKV)
+	bd.AddEvents(prefix+"AccumBinMergedKV", s.BinMergedKV)
 	bd.AddEvents(prefix+"AccumGathers", s.Gathers)
 	bd.AddEvents(prefix+"AccumGatheredKV", s.GatheredKV)
 	bd.AddEvents(prefix+"AccumResets", s.Resets)
@@ -476,14 +487,18 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 			Moves:      moves,
 		})
 
-		// The four CAM counters of the paper's evaluation are sums over
-		// per-vertex accumulator sessions, so they are schedule-invariant and
-		// safe as deterministic attributes; dispatch shape (steals,
-		// imbalance) is volatile by construction.
+		// The four CAM counters of the paper's evaluation — and the
+		// HashGraph resolve counters — are sums over per-vertex accumulator
+		// sessions, so they are schedule-invariant and safe as deterministic
+		// attributes; dispatch shape (steals, imbalance) is volatile by
+		// construction.
 		sw.SetUint("cam_hits", sweepStats.Hits)
 		sw.SetUint("cam_misses", sweepStats.Misses)
 		sw.SetUint("cam_evictions", sweepStats.Evictions)
 		sw.SetUint("cam_overflow_kv", sweepStats.OverflowKV)
+		sw.SetUint("hg_binned_kv", sweepStats.BinnedKV)
+		sw.SetUint("hg_scattered_kv", sweepStats.ScatteredKV)
+		sw.SetUint("hg_bin_merged_kv", sweepStats.BinMergedKV)
 		sw.SetUint("moves", moves)
 		sw.SetFloat("codelength", st.Codelength())
 		sw.SetVolatileUint("steals", ds.Steals)
@@ -499,10 +514,13 @@ func optimizeLevel(ctx context.Context, st *mapeq.State, flow *mapeq.Flow, worke
 		prevL = l
 	}
 	addAccumEvents(bd, fmt.Sprintf("Level%d/", level), accum.Stats{
-		Hits:       levelStats.Hits,
-		Misses:     levelStats.Misses,
-		Evictions:  levelStats.Evictions,
-		OverflowKV: levelStats.OverflowKV,
+		Hits:        levelStats.Hits,
+		Misses:      levelStats.Misses,
+		Evictions:   levelStats.Evictions,
+		OverflowKV:  levelStats.OverflowKV,
+		BinnedKV:    levelStats.BinnedKV,
+		ScatteredKV: levelStats.ScatteredKV,
+		BinMergedKV: levelStats.BinMergedKV,
 	})
 	return sweeps, totalMoves, nil
 }

@@ -32,20 +32,23 @@ type worker struct {
 	mergedGather bool // ASA-style candidate iteration (Algorithm 2)
 }
 
-func newWorker(id int, o Options) (*worker, error) {
-	out, err := o.newAccumulator()
+func newWorker(id int, o Options, hint int) (*worker, error) {
+	out, err := o.newAccumulator(hint)
 	if err != nil {
 		return nil, err
 	}
-	in, err := o.newAccumulator()
+	in, err := o.newAccumulator(hint)
 	if err != nil {
 		return nil, err
 	}
 	return &worker{
-		id:           id,
-		out:          out,
-		in:           in,
-		mergedGather: o.Kind == ASA,
+		id:  id,
+		out: out,
+		in:  in,
+		// ASA gathers+merges instead of point probes (Algorithm 2); the
+		// probe-free HashGraph backend takes the same lookup-free candidate
+		// path — its whole point is never probing during accumulation.
+		mergedGather: o.Kind == ASA || o.Kind == HashGraph,
 	}, nil
 }
 

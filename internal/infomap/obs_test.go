@@ -25,11 +25,15 @@ func traceGraph(t *testing.T) *graph.Graph {
 // runTraced runs detection under a fresh tracer and returns the canonical
 // span-tree JSON plus the result.
 func runTraced(t *testing.T, g *graph.Graph, workers int, policy SchedPolicy) ([]byte, *Result) {
+	return runTracedKind(t, g, ASA, workers, policy)
+}
+
+func runTracedKind(t *testing.T, g *graph.Graph, kind AccumKind, workers int, policy SchedPolicy) ([]byte, *Result) {
 	t.Helper()
 	tr := obs.New(obs.Config{Seed: 42})
 	root := tr.Begin("detect")
 	opt := DefaultOptions()
-	opt.Kind = ASA
+	opt.Kind = kind
 	opt.Workers = workers
 	opt.Sched = policy
 	opt.Seed = 7
@@ -71,6 +75,65 @@ func TestTraceCanonicalInvariance(t *testing.T) {
 			t.Errorf("%s: codelength differs (%v vs %v) — result determinism broken, trace comparison moot",
 				tc.name, res.Codelength, res1.Codelength)
 		}
+	}
+}
+
+// TestTraceCanonicalInvarianceHashGraph: the trace contract extends to the
+// HashGraph backend — sweep spans carry the resolve-pass counters
+// (hg_binned_kv / hg_scattered_kv / hg_bin_merged_kv), which are per-session
+// sums and therefore schedule-invariant, and the canonical tree stays
+// byte-identical across worker counts and schedulers.
+func TestTraceCanonicalInvarianceHashGraph(t *testing.T) {
+	g := traceGraph(t)
+	base, res1 := runTracedKind(t, g, HashGraph, 1, SchedStatic)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		policy  SchedPolicy
+	}{
+		{"4-steal", 4, SchedSteal},
+		{"4-static", 4, SchedStatic},
+	} {
+		j, res := runTracedKind(t, g, HashGraph, tc.workers, tc.policy)
+		if !bytes.Equal(base, j) {
+			t.Errorf("%s: canonical span tree differs from 1-worker baseline:\n--- base ---\n%s\n--- %s ---\n%s",
+				tc.name, base, tc.name, j)
+		}
+		if res.Codelength != res1.Codelength {
+			t.Errorf("%s: codelength differs (%v vs %v)", tc.name, res.Codelength, res1.Codelength)
+		}
+	}
+	var roots []*obs.TreeNode
+	if err := json.Unmarshal(base, &roots); err != nil {
+		t.Fatal(err)
+	}
+	var sweep *obs.TreeNode
+	var walk func(n *obs.TreeNode)
+	walk = func(n *obs.TreeNode) {
+		if n.Name == "sweep" && sweep == nil {
+			sweep = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if sweep == nil {
+		t.Fatal("no sweep span in hashgraph trace")
+	}
+	attrs := map[string]string{}
+	for _, a := range sweep.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	for _, key := range []string{"hg_binned_kv", "hg_scattered_kv", "hg_bin_merged_kv"} {
+		if attrs[key] == "" {
+			t.Errorf("sweep span missing %s attr: %+v", key, sweep.Attrs)
+		}
+	}
+	if attrs["hg_binned_kv"] == "0" {
+		t.Error("hashgraph run recorded zero binned pairs — resolve counters not wired")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/asamap/asamap/internal/accum"
 	"github.com/asamap/asamap/internal/asa"
 	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/hashgraph"
 	"github.com/asamap/asamap/internal/hashtab"
 	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/perf"
@@ -54,6 +55,10 @@ const (
 	// GoMap is Go's builtin map, used as a correctness oracle and an
 	// "idiomatic Go" reference point.
 	GoMap
+	// HashGraph is the probe-free counting-sort/prefix-sum accumulator
+	// (package hashgraph): session appends resolved in two branch-light
+	// passes, no chains, no probing, no rehash churn.
+	HashGraph
 )
 
 // String names the backend as used in reports.
@@ -65,6 +70,8 @@ func (k AccumKind) String() string {
 		return "asa"
 	case GoMap:
 		return "gomap"
+	case HashGraph:
+		return "hashgraph"
 	}
 	return fmt.Sprintf("AccumKind(%d)", int(k))
 }
@@ -189,7 +196,7 @@ func (o Options) validate() error {
 		return fmt.Errorf("infomap: MinImprovement %g < 0", o.MinImprovement)
 	}
 	switch o.Kind {
-	case Baseline, ASA, GoMap:
+	case Baseline, ASA, GoMap, HashGraph:
 	default:
 		return fmt.Errorf("infomap: unknown accumulator kind %d", int(o.Kind))
 	}
@@ -197,14 +204,23 @@ func (o Options) validate() error {
 }
 
 // newAccumulator constructs one accumulator instance for the configured kind.
-func (o Options) newAccumulator() (accum.Accumulator, error) {
+// hint is the expected maximum session size — the graph's largest degree —
+// so the software tables start big enough that large-hub graphs pay no
+// rehash/growth churn (hint <= 0 falls back to a small default). The ASA CAM
+// ignores it: its capacity is the modeled hardware's, not the workload's.
+func (o Options) newAccumulator(hint int) (accum.Accumulator, error) {
+	if hint <= 0 {
+		hint = 64
+	}
 	switch o.Kind {
 	case Baseline:
-		return hashtab.New(64), nil
+		return hashtab.New(hint), nil
 	case ASA:
 		return asa.New(o.ASAConfig)
 	case GoMap:
-		return accum.NewMap(64), nil
+		return accum.NewMap(hint), nil
+	case HashGraph:
+		return hashgraph.New(hint), nil
 	}
 	return nil, fmt.Errorf("infomap: unknown accumulator kind %d", int(o.Kind))
 }

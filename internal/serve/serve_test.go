@@ -183,6 +183,38 @@ func TestDifferentSeedsAreDifferentCacheEntries(t *testing.T) {
 	}
 }
 
+// TestDetectHashGraphBackend: the probe-free backend is selectable over the
+// API, partitions identically to baseline (backend choice is a pure
+// performance decision), and fingerprints distinctly (so cached results
+// never alias across backends).
+func TestDetectHashGraphBackend(t *testing.T) {
+	_, _, c := newTestServer(t, DefaultConfig())
+	ctx := context.Background()
+	info, err := c.UploadGraph(ctx, strings.NewReader(twoTriangles), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := c.Detect(ctx, info.Hash, DetectOptions{Accum: "hashgraph", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Detect(ctx, info.Hash, DetectOptions{Accum: "baseline", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.Codelength != base.Codelength {
+		t.Errorf("hashgraph codelength %v != baseline %v", hg.Codelength, base.Codelength)
+	}
+	for i := range hg.Membership {
+		if hg.Membership[i] != base.Membership[i] {
+			t.Fatalf("membership diverges at %d", i)
+		}
+	}
+	if hg.Fingerprint == base.Fingerprint {
+		t.Error("hashgraph and baseline share a fingerprint — cache would alias backends")
+	}
+}
+
 func TestDetectErrors(t *testing.T) {
 	_, hs, c := newTestServer(t, DefaultConfig())
 	ctx := context.Background()

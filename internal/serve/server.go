@@ -204,7 +204,7 @@ type DetectRequest struct {
 // the default" (infomap.DefaultOptions); Seed 0 therefore maps to the
 // default seed 1 — pass an explicit non-zero seed to vary results.
 type DetectOptions struct {
-	Accum          string  `json:"accum,omitempty"` // baseline | asa | gomap
+	Accum          string  `json:"accum,omitempty"` // baseline | asa | gomap | hashgraph
 	CamKB          int     `json:"cam_kb,omitempty"`
 	Workers        int     `json:"workers,omitempty"` // per-run sweep workers; 0 keeps default 1
 	Sched          string  `json:"sched,omitempty"`   // steal | static
@@ -232,8 +232,10 @@ func (d DetectOptions) toOptions() (infomap.Options, error) {
 		opt.ASAConfig = asa.Config{CapacityBytes: camKB * 1024, EntryBytes: 16, Policy: asa.LRU}
 	case "gomap":
 		opt.Kind = infomap.GoMap
+	case "hashgraph":
+		opt.Kind = infomap.HashGraph
 	default:
-		return opt, fmt.Errorf("unknown accum %q (want baseline|asa|gomap)", d.Accum)
+		return opt, fmt.Errorf("unknown accum %q (want baseline|asa|gomap|hashgraph)", d.Accum)
 	}
 	switch d.Sched {
 	case "", "steal":
