@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race fuzz-smoke bench-smoke bench-accum chaos-smoke all
+.PHONY: build test lint race fuzz-smoke bench-smoke bench-accum chaos-smoke delta-replay all
 
 all: build lint test
 
@@ -32,6 +32,20 @@ bench-smoke:
 bench-accum:
 	$(GO) run ./cmd/asabench -exp accum -quick -json BENCH_accum_ci.json
 	$(GO) test -run 'TestAccumQuick|TestCommittedAccumArtifact' ./internal/bench
+
+# delta-replay is the incremental-detection proof tier: the committed
+# FuzzDeltaReplay seed corpus plus a short fuzz session against the
+# scratch-rebuild oracle, the differential warm-vs-cold tests (shared-memory,
+# distributed, serve lineage, cluster chaos) under the race detector, the
+# warm-start golden e2e, and the X10 warm-vs-cold experiment at quick scale.
+delta-replay:
+	$(GO) test -run=NONE -fuzz=FuzzDeltaReplay -fuzztime=15s ./internal/graph
+	$(GO) test -race -run 'TestDelta|TestKHopFrontier|FuzzDeltaReplay' ./internal/graph
+	$(GO) test -race -run 'TestWarmStart' ./internal/infomap ./internal/dist
+	$(GO) test -race -run 'TestDeltaUpload|TestColdDetectOnVersion|TestWarm' ./internal/serve
+	$(GO) test -race -run 'TestClusterDelta' ./internal/serve/cluster
+	$(GO) test -run 'TestE2EWarmStart' .
+	$(GO) run ./cmd/asabench -exp delta -quick
 
 # chaos-smoke exercises the replicated service under the seeded fault
 # injector (race detector on), then drives an in-process 3-replica cluster

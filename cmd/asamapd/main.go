@@ -27,7 +27,12 @@
 //	POST /v1/graphs[?directed=true]   upload an edge list, returns its hash
 //	GET  /v1/graphs/{hash}            registered graph shape
 //	GET  /v1/graphs/{hash}/data       canonical edge list (peer replication)
-//	POST /v1/detect                   {"graph":"<hash>","options":{...}}
+//	POST /v1/graphs/{hash}/delta      upload a delta batch onto a graph or
+//	                                  version, returns the child version id
+//	GET  /v1/versions/{id}            version lineage metadata
+//	GET  /v1/versions/{id}/delta      the version's delta bytes (peer replication)
+//	POST /v1/detect                   {"graph":"<hash or version id>","options":{...}};
+//	                                  options.warm_start replays the lineage warm
 //	GET  /healthz                     liveness + build info + registry/queue/cache stats
 //	GET  /metrics                     Prometheus text format (latency histograms, accumulator, cluster counters)
 //	GET  /cluster/status              replication/forwarding/breaker state (cluster mode)

@@ -9,6 +9,8 @@
 //	infomap -in graph.txt -out communities.txt  # write "vertex module" lines
 //	infomap -in graph.txt -workers 4 -stats     # parallel run + kernel stats
 //	infomap -in graph.txt -timeout 30s          # bound the wall-clock time
+//	infomap -in graph.txt -delta changes.txt \
+//	    -warm-start -frontier-hops 2            # incremental re-detection
 //	infomap -in graph.txt -dist-ranks 8 \
 //	    -fault-drop 0.2 -fault-crash-rank 1 -fault-crash-step 2 \
 //	    -fault-down-for 3                       # faulted distributed run
@@ -48,6 +50,9 @@ func main() {
 	tree := flag.String("tree", "", "write the hierarchy in Infomap .tree format to this path (implies -hierarchical)")
 	gexf := flag.String("gexf", "", "write the community-colored graph as GEXF (Gephi) to this path")
 	dot := flag.String("dot", "", "write the community-colored graph as Graphviz DOT to this path")
+	deltaPath := flag.String("delta", "", "delta edge-list file (+/-/= ops over the input file's vertex labels) applied to -in before detection")
+	warmStart := flag.Bool("warm-start", false, "with -delta: run the parent graph cold, then seed the child run from its partition")
+	frontierHops := flag.Int("frontier-hops", 2, "with -warm-start: re-optimize only vertices within this many hops of the delta's endpoints")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto) to this path")
 	distRanks := flag.Int("dist-ranks", 0, "run the simulated distributed substrate on this many ranks instead of the shared-memory path (0 = off)")
@@ -75,6 +80,32 @@ func main() {
 	g, labels, err := graph.ReadEdgeListFile(*in, *directed)
 	if err != nil {
 		fatal(err)
+	}
+
+	// An incremental run keeps the parent graph around: the delta file's ops
+	// are remapped from the input file's labels to dense IDs, applied to build
+	// the child, and (with -warm-start) the parent partition seeds the child
+	// run so only the delta's k-hop frontier re-optimizes.
+	if *warmStart && *deltaPath == "" {
+		fatal(fmt.Errorf("-warm-start requires -delta"))
+	}
+	var parent *graph.Graph
+	var touched []uint32
+	if *deltaPath != "" {
+		raw, err := graph.ReadDeltaListFile(*deltaPath)
+		if err != nil {
+			fatal(err)
+		}
+		var d *graph.Delta
+		d, labels = remapDelta(raw, labels)
+		parent = g
+		g, err = d.Apply(parent)
+		if err != nil {
+			fatal(err)
+		}
+		touched = d.Touched()
+		fmt.Printf("delta: %d ops touching %d vertices (%d -> %d vertices, %d -> %d arcs)\n",
+			len(d.Ops), len(touched), parent.N(), g.N(), parent.M(), g.M())
 	}
 
 	opt := infomap.DefaultOptions()
@@ -126,8 +157,30 @@ func main() {
 			dopt.Fault.CrashStep = *faultCrashStep
 			dopt.Fault.CrashDownFor = *faultDownFor
 		}
+		if *warmStart {
+			pres, err := dist.RunContext(ctx, parent, dopt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("parent: %d modules, codelength %.6f\n", pres.NumModules, pres.Codelength)
+			dopt.WarmStart = warmSeed(pres.Membership, pres.NumModules, g.N())
+		}
 		runDistributed(ctx, g, labels, dopt, *out)
 		return
+	}
+
+	if *warmStart {
+		// Cold run on the parent graph; its partition (new vertices appended
+		// as fresh singletons) becomes the child run's warm seed and the
+		// delta's endpoints become the frontier seeds.
+		pres, err := infomap.RunContext(ctx, parent, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("parent: %s\n", pres)
+		opt.WarmStart = warmSeed(pres.Membership, pres.NumModules, g.N())
+		opt.FrontierSeeds = touched
+		opt.FrontierHops = *frontierHops
 	}
 
 	// Span tracing: a nil tracer (flag unset) makes the root span nil and
@@ -148,6 +201,10 @@ func main() {
 
 	fmt.Printf("graph: %d vertices, %d arcs (%s)\n", g.N(), g.M(), direction(g))
 	fmt.Printf("result: %s\n", res)
+	if opt.WarmStart != nil {
+		fmt.Printf("warm: frontier %d of %d vertices re-optimized, %d frozen (hops %d)\n",
+			res.FrontierSize, g.N(), res.FrozenVertices, opt.FrontierHops)
+	}
 	fmt.Printf("elapsed: %v (backend %s, %d workers)\n", res.Elapsed, opt.Kind, opt.Workers)
 
 	if *traceOut != "" {
@@ -286,6 +343,46 @@ func runDistributed(ctx context.Context, g *graph.Graph, labels []uint64, dopt d
 		}
 		fmt.Printf("wrote %d assignments to %s\n", len(res.Membership), out)
 	}
+}
+
+// remapDelta translates a delta file's vertex IDs — written in the input
+// edge list's original label space — into the dense IDs the loaded graph
+// uses. Labels the input never mentioned get fresh dense IDs appended to the
+// label table, exactly as ReadEdgeList would have assigned them, so the
+// child graph's assignment output still reports original labels.
+func remapDelta(d *graph.Delta, labels []uint64) (*graph.Delta, []uint64) {
+	dense := make(map[uint64]uint32, len(labels))
+	for i, l := range labels {
+		dense[l] = uint32(i)
+	}
+	lookup := func(label uint32) uint32 {
+		if id, ok := dense[uint64(label)]; ok {
+			return id
+		}
+		id := uint32(len(labels))
+		dense[uint64(label)] = id
+		labels = append(labels, uint64(label))
+		return id
+	}
+	out := &graph.Delta{Ops: make([]graph.DeltaEdge, len(d.Ops))}
+	for i, op := range d.Ops {
+		out.Ops[i] = graph.DeltaEdge{Op: op.Op, From: lookup(op.From), To: lookup(op.To), Weight: op.Weight}
+	}
+	return out, labels
+}
+
+// warmSeed extends a parent partition to the child graph's vertex count:
+// vertices the delta created start as fresh singleton modules, mirroring the
+// serve API's lineage walk.
+func warmSeed(parent []uint32, modules, childN int) []uint32 {
+	seed := make([]uint32, childN)
+	copy(seed, parent)
+	next := uint32(modules)
+	for j := len(parent); j < childN; j++ {
+		seed[j] = next
+		next++
+	}
+	return seed
 }
 
 // nodeFlows recomputes the base visit rates for the .tree output.

@@ -116,6 +116,81 @@ func TestE2EInfomapGoldenWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestE2EWarmStartGolden runs the incremental path end to end: the committed
+// LFR graph plus the committed delta file through `cmd/infomap -delta
+// -warm-start`, byte-comparing the assignment and the normalized stdout
+// (which pins the frontier size and frozen count) against goldens.
+//
+// Regenerate (after an intentional algorithm change) with:
+//
+//	go run ./cmd/infomap -in testdata/golden/lfr_small.txt \
+//	    -delta testdata/golden/lfr_small.delta.txt -warm-start \
+//	    -seed 1 -workers 2 -out testdata/golden/lfr_small.warm.assign.golden \
+//	    | sed '/^elapsed:/d; /^wrote /d' > testdata/golden/lfr_small.warm.stdout.golden
+func TestE2EWarmStartGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	assign := filepath.Join(t.TempDir(), "assign.txt")
+	out := runCLI(t, "infomap",
+		"-in", filepath.Join("testdata", "golden", "lfr_small.txt"),
+		"-delta", filepath.Join("testdata", "golden", "lfr_small.delta.txt"),
+		"-warm-start", "-seed", "1", "-workers", "2", "-out", assign)
+
+	got := normalizeStdout(out)
+	want := readGolden(t, "lfr_small.warm.stdout.golden")
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		t.Errorf("warm-start stdout drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// The stdout golden itself asserts the frontier restriction (a "warm:"
+	// line with a non-zero frozen count); make the contract explicit here so
+	// a regenerated golden that silently lost the restriction still fails.
+	if !strings.Contains(string(got), "warm: frontier ") {
+		t.Error("stdout is missing the warm frontier summary line")
+	}
+	if strings.Contains(string(got), " 0 frozen") {
+		t.Error("warm start froze nothing: the frontier restriction is not active")
+	}
+
+	gotAssign, err := os.ReadFile(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAssign := readGolden(t, "lfr_small.warm.assign.golden")
+	if !bytes.Equal(gotAssign, wantAssign) {
+		t.Error("warm assignment file is not byte-identical to the golden")
+	}
+}
+
+// TestE2EWarmStartGoldenWorkerInvariance reruns the incremental detection
+// with different worker counts and both schedulers; the warm assignment
+// bytes must not move.
+func TestE2EWarmStartGoldenWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go run; skipped in -short mode")
+	}
+	wantAssign := readGolden(t, "lfr_small.warm.assign.golden")
+	for _, tc := range []struct{ workers, sched string }{
+		{"1", "steal"},
+		{"4", "steal"},
+		{"4", "static"},
+	} {
+		assign := filepath.Join(t.TempDir(), "assign.txt")
+		runCLI(t, "infomap",
+			"-in", filepath.Join("testdata", "golden", "lfr_small.txt"),
+			"-delta", filepath.Join("testdata", "golden", "lfr_small.delta.txt"),
+			"-warm-start", "-seed", "1",
+			"-workers", tc.workers, "-sched", tc.sched, "-out", assign)
+		got, err := os.ReadFile(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantAssign) {
+			t.Errorf("workers=%s sched=%s: warm assignment differs from golden", tc.workers, tc.sched)
+		}
+	}
+}
+
 // TestE2ELintClean runs the repository's own analyzer suite (cmd/asalint)
 // over every package, exactly as the CI lint job does. The determinism and
 // cancellation contracts the goldens above observe at the process boundary

@@ -90,6 +90,7 @@ var Experiments = []Experiment{
 	{"distributed", "X7: distributed-memory (hybrid) simulation, rank sweep", runDistributed},
 	{"sched", "X8: sweep scheduling — static vs work stealing", runSched},
 	{"accum", "X9: accumulator backend sweep — gomap/softhash/asa/hashgraph", runAccum},
+	{"delta", "X10: incremental detection — warm start vs cold on an evolved graph", runDelta},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/asamap/asamap/internal/graph"
+	"github.com/asamap/asamap/internal/infomap"
+	"github.com/asamap/asamap/internal/perf"
+)
+
+// deltaNetworks are the replicas the incremental-detection experiment evolves.
+var deltaNetworks = []string{"Amazon", "YouTube"}
+
+// deltaEpsilon bounds how far a warm-started codelength may drift from the
+// cold run on the same child graph — the same tolerance the differential test
+// tier pins (internal/infomap warm tests).
+const deltaEpsilon = 0.02
+
+// deltaHopSweep is the frontier-radius ablation: 0 means no frontier
+// restriction (every vertex re-optimizes from the warm seed).
+var deltaHopSweep = []int{0, 4, 2, 1}
+
+// syntheticDelta builds a deterministic evolution of g: every stride-th
+// vertex loses its first incident edge and gains one to a far vertex, and a
+// brand-new vertex attaches to vertex 0 so the seed-extension path runs too.
+// The batch depends only on the graph, so the experiment is reproducible.
+func syntheticDelta(g *graph.Graph, edits int) *graph.Delta {
+	n := g.N()
+	stride := n / edits
+	if stride < 1 {
+		stride = 1
+	}
+	d := &graph.Delta{}
+	for v := 0; v < n && len(d.Ops) < 2*edits; v += stride {
+		nb := g.OutNeighbors(v)
+		if len(nb) == 0 {
+			continue
+		}
+		far := uint32((v + n/2) % n)
+		if far == uint32(v) {
+			continue
+		}
+		d.Ops = append(d.Ops,
+			graph.DeltaEdge{Op: graph.DeltaRemove, From: uint32(v), To: nb[0]},
+			graph.DeltaEdge{Op: graph.DeltaAdd, From: uint32(v), To: far, Weight: 1},
+		)
+	}
+	d.Ops = append(d.Ops, graph.DeltaEdge{Op: graph.DeltaAdd, From: 0, To: uint32(n), Weight: 1})
+	return d
+}
+
+// runDelta is X10: incremental detection on an evolving graph. Each network
+// is evolved by a synthetic delta batch; a cold run on the child graph is
+// compared against warm-started runs seeded from the parent partition, over
+// a frontier-radius sweep. Warm codelengths must stay within deltaEpsilon of
+// cold — the differential contract — and the table reports how much work the
+// frontier restriction saves (sweeps, moves, modeled cycles).
+func runDelta(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s  %-8s  %9s  %9s  %7s  %8s  %9s  %8s  %11s  %7s\n",
+		"network", "mode", "frontier", "frozen", "sweeps", "moves", "L", "dL", "total-cyc", "speedup")
+	for _, name := range deltaNetworks {
+		parent, _, err := replica(cfg, name)
+		if err != nil {
+			return err
+		}
+		edits := parent.N() / 100
+		if edits < 4 {
+			edits = 4
+		}
+		d := syntheticDelta(parent, edits)
+		child, err := d.Apply(parent)
+		if err != nil {
+			return err
+		}
+
+		opt := infomap.DefaultOptions()
+		opt.Seed = cfg.Seed
+		pres, err := infomap.Run(parent, opt)
+		if err != nil {
+			return err
+		}
+		cold, err := infomap.Run(child, opt)
+		if err != nil {
+			return err
+		}
+		coldM, err := modelRun(cold, opt.Kind, perf.Baseline())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s  %-8s  %9d  %9d  %7d  %8d  %9.4f  %8s  %11s  %6.2fx\n",
+			name, "cold", child.N(), 0, cold.Sweeps, cold.Moves, cold.Codelength,
+			"-", fmtEng(coldM.Total.Cycles), 1.0)
+
+		// Parent partition extended with fresh singletons for delta-created
+		// vertices — the same seed the serve lineage walk derives.
+		seed := make([]uint32, child.N())
+		copy(seed, pres.Membership)
+		next := uint32(pres.NumModules)
+		for j := parent.N(); j < child.N(); j++ {
+			seed[j] = next
+			next++
+		}
+
+		for _, hops := range deltaHopSweep {
+			wopt := opt
+			wopt.WarmStart = seed
+			mode := "warm-all"
+			if hops > 0 {
+				wopt.FrontierSeeds = d.Touched()
+				wopt.FrontierHops = hops
+				mode = fmt.Sprintf("warm-h%d", hops)
+			}
+			warm, err := infomap.Run(child, wopt)
+			if err != nil {
+				return err
+			}
+			dL := warm.Codelength - cold.Codelength
+			if math.Abs(dL) > deltaEpsilon {
+				return fmt.Errorf("bench: delta: %s %s codelength drifted %.4f bits from cold (epsilon %.3f)",
+					name, mode, dL, deltaEpsilon)
+			}
+			warmM, err := modelRun(warm, opt.Kind, perf.Baseline())
+			if err != nil {
+				return err
+			}
+			speedup := 0.0
+			if warmM.Total.Cycles > 0 {
+				speedup = coldM.Total.Cycles / warmM.Total.Cycles
+			}
+			fmt.Fprintf(w, "%-10s  %-8s  %9d  %9d  %7d  %8d  %9.4f  %+8.4f  %11s  %6.2fx\n",
+				name, mode, warm.FrontierSize, warm.FrozenVertices, warm.Sweeps, warm.Moves,
+				warm.Codelength, dL, fmtEng(warmM.Total.Cycles), speedup)
+		}
+	}
+	return nil
+}

@@ -59,6 +59,14 @@ type Options struct {
 	// MaxRetryBackoff caps the exponential retransmission backoff, in
 	// supersteps. Minimum 1.
 	MaxRetryBackoff int
+	// WarmStart, when non-nil, seeds the leaf-level partition instead of the
+	// all-singletons start: vertex v begins in module WarmStart[v]. Module
+	// ids are compacted on entry; the length must equal the graph's vertex
+	// count. This is the distributed mirror of infomap.Options.WarmStart —
+	// the delta-log, checkpoint, and crash-recovery machinery is reused
+	// unchanged, because a warm seed only changes the level-0 state that
+	// ranks checkpoint and replay.
+	WarmStart []uint32
 }
 
 // DefaultOptions returns an 8-rank cluster with 1µs latency, 10 GB/s links,
@@ -148,6 +156,10 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	if g.Directed() {
 		return nil, fmt.Errorf("dist: directed graphs not supported by the distributed simulation")
 	}
+	if opt.WarmStart != nil && len(opt.WarmStart) != g.N() {
+		return nil, fmt.Errorf("dist: WarmStart has %d entries for %d vertices",
+			len(opt.WarmStart), g.N())
+	}
 	injector, err := fault.New(opt.Fault)
 	if err != nil {
 		return nil, err
@@ -181,8 +193,15 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 		}
 		n := flow.G.N()
 		membership := make([]uint32, n)
-		for i := range membership {
-			membership[i] = uint32(i)
+		if level == 0 && opt.WarmStart != nil {
+			// Warm seed: ranks enter the first level already inside the
+			// parent partition's modules instead of as singletons.
+			copy(membership, opt.WarmStart)
+			mapeq.CompactMembership(membership)
+		} else {
+			for i := range membership {
+				membership[i] = uint32(i)
+			}
 		}
 		res.Levels++
 		moves, err := optimizeLevelDistributed(ctx, flow, membership, leafNodeTerm,

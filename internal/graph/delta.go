@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DeltaOp identifies one kind of edge mutation in a delta batch.
+type DeltaOp uint8
+
+const (
+	// DeltaAdd adds weight to an edge, creating it if absent (weights sum,
+	// matching Builder's duplicate-arc merge).
+	DeltaAdd DeltaOp = iota
+	// DeltaRemove deletes an edge entirely; removing an absent edge is a
+	// no-op so deltas replay idempotently.
+	DeltaRemove
+	// DeltaSet overwrites an edge's weight (upsert); setting weight 0
+	// removes the edge.
+	DeltaSet
+)
+
+// String returns the single-character text form used by the delta list
+// format: "+", "-", "=".
+func (op DeltaOp) String() string {
+	switch op {
+	case DeltaAdd:
+		return "+"
+	case DeltaRemove:
+		return "-"
+	case DeltaSet:
+		return "="
+	}
+	return fmt.Sprintf("DeltaOp(%d)", uint8(op))
+}
+
+// DeltaEdge is one edge mutation. From/To are dense vertex IDs in the parent
+// graph's ID space; IDs at or beyond the parent's N() grow the graph.
+type DeltaEdge struct {
+	Op       DeltaOp
+	From, To uint32
+	Weight   float64 // ignored for DeltaRemove
+}
+
+// Delta is an ordered, append-only batch of edge mutations against a parent
+// graph. Order matters (a DeltaSet after a DeltaAdd overwrites the sum), so
+// the canonical hash covers ops in sequence and replaying the same batch is
+// always bit-identical.
+type Delta struct {
+	Ops []DeltaEdge
+}
+
+// deltaHashVersion tags the byte layout of Delta.Hash, mirroring
+// canonicalHashVersion for graphs.
+const deltaHashVersion = "asamap-delta-v1\n"
+
+// Hash chains the delta onto its parent graph's CanonicalHash, producing the
+// content address of the child version: SHA-256 over a version tag, the
+// parent digest, and every op in order (op byte, endpoints, IEEE-754 weight
+// bits, little-endian). Two versions collide only if they share both lineage
+// and the exact mutation sequence.
+func (d *Delta) Hash(parent [32]byte) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(deltaHashVersion))
+	h.Write(parent[:])
+	writeU64(uint64(len(d.Ops)))
+	for _, op := range d.Ops {
+		h.Write([]byte{byte(op.Op)})
+		writeU64(uint64(op.From))
+		writeU64(uint64(op.To))
+		w := op.Weight
+		if op.Op == DeltaRemove {
+			w = 0 // removals carry no weight; canonicalize so it can't skew the hash
+		}
+		writeU64(math.Float64bits(w))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Validate checks every op for weight sanity: DeltaAdd needs a positive
+// finite weight, DeltaSet a non-negative finite weight (0 means remove).
+func (d *Delta) Validate() error {
+	for i, op := range d.Ops {
+		switch op.Op {
+		case DeltaAdd:
+			if !(op.Weight > 0) || math.IsInf(op.Weight, 0) {
+				return fmt.Errorf("graph: delta op %d: add with non-positive or non-finite weight %g", i, op.Weight)
+			}
+		case DeltaRemove:
+			// weight ignored
+		case DeltaSet:
+			if !(op.Weight >= 0) || math.IsInf(op.Weight, 0) {
+				return fmt.Errorf("graph: delta op %d: set with negative or non-finite weight %g", i, op.Weight)
+			}
+		default:
+			return fmt.Errorf("graph: delta op %d: unknown op %d", i, uint8(op.Op))
+		}
+	}
+	return nil
+}
+
+// arcKey canonicalizes an edge for the delta weight map: undirected edges
+// are keyed with the smaller endpoint first so (u,v) and (v,u) name the same
+// edge, matching the mirrored CSR storage.
+func arcKey(directed bool, u, v uint32) [2]uint32 {
+	if !directed && v < u {
+		return [2]uint32{v, u}
+	}
+	return [2]uint32{u, v}
+}
+
+// Apply replays the batch against g and builds the child graph from scratch
+// through Builder, so the result is canonical CSR exactly as if the full
+// edge list had been read cold — this is the property the FuzzDeltaReplay
+// oracle pins. Vertex IDs at or beyond g.N() grow the vertex set; removed
+// edges may leave isolated vertices behind (the vertex set never shrinks, so
+// parent and child memberships stay index-compatible).
+func (d *Delta) Apply(g *Graph) (*Graph, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	directed := g.Directed()
+
+	// Start from the parent's logical edge set (one entry per undirected
+	// edge, not per mirrored arc).
+	weight := make(map[[2]uint32]float64, g.M())
+	for u := 0; u < g.N(); u++ {
+		nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+		for i, v := range nb {
+			if !directed && int(v) < u {
+				continue
+			}
+			weight[arcKey(directed, uint32(u), v)] = ws[i]
+		}
+	}
+
+	n := g.N()
+	for _, op := range d.Ops {
+		if int(op.From) >= n {
+			n = int(op.From) + 1
+		}
+		if int(op.To) >= n {
+			n = int(op.To) + 1
+		}
+		key := arcKey(directed, op.From, op.To)
+		switch op.Op {
+		case DeltaAdd:
+			weight[key] += op.Weight
+		case DeltaRemove:
+			delete(weight, key)
+		case DeltaSet:
+			if op.Weight == 0 {
+				delete(weight, key)
+			} else {
+				weight[key] = op.Weight
+			}
+		}
+	}
+
+	b := NewBuilder(n, directed)
+	b.Reserve(len(weight))
+	for _, key := range SortedKeysFunc(weight, func(a, b [2]uint32) int {
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		if a[1] != b[1] {
+			if a[1] < b[1] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}) {
+		w := weight[key]
+		// Accumulated float weights can only be positive here (adds are
+		// positive, sets of zero delete), but guard against exotic
+		// cancellation producing a denormal zero.
+		if !(w > 0) {
+			continue
+		}
+		if math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: delta: accumulated weight on edge (%d,%d) overflowed to %g", key[0], key[1], w)
+		}
+		if err := b.AddEdge(key[0], key[1], w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Touched returns the sorted, de-duplicated endpoints named by any op in the
+// batch — the seed set for the warm-start k-hop frontier. No-op mutations
+// (removing an absent edge) still contribute their endpoints: the frontier
+// over-approximates, never under-approximates.
+func (d *Delta) Touched() []uint32 {
+	seen := make(map[uint32]struct{}, 2*len(d.Ops))
+	for _, op := range d.Ops {
+		seen[op.From] = struct{}{}
+		seen[op.To] = struct{}{}
+	}
+	return SortedKeys(seen)
+}
+
+// KHopFrontier marks every vertex of g within hops hops of a seed, walking
+// both out- and in-neighbors (so directed deltas thaw upstream vertices
+// whose flow changed too). Seeds outside [0, g.N()) are ignored — they name
+// vertices that only exist in the child graph. hops=0 marks the seeds alone.
+func KHopFrontier(g *Graph, seeds []uint32, hops int) []bool {
+	frontier := make([]bool, g.N())
+	var cur []uint32
+	for _, s := range seeds {
+		if int(s) < g.N() && !frontier[s] {
+			frontier[s] = true
+			cur = append(cur, s)
+		}
+	}
+	for h := 0; h < hops && len(cur) > 0; h++ {
+		var next []uint32
+		for _, u := range cur {
+			for _, v := range g.OutNeighbors(int(u)) {
+				if !frontier[v] {
+					frontier[v] = true
+					next = append(next, v)
+				}
+			}
+			for _, v := range g.InNeighbors(int(u)) {
+				if !frontier[v] {
+					frontier[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		cur = next
+	}
+	return frontier
+}
+
+// ReadDeltaList parses the delta text format, one op per line:
+//
+//	# comment lines start with '#'
+//	+ <from> <to> [weight]   add (weight defaults to 1)
+//	- <from> <to>            remove
+//	= <from> <to> <weight>   set (weight 0 removes)
+//
+// Vertex IDs are dense uint32 in the parent graph's ID space — no label
+// remapping happens here (cmd/infomap remaps labels before building the
+// delta, and the serve API works in dense IDs throughout).
+func ReadDeltaList(r io.Reader) (*Delta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var d Delta
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var op DeltaOp
+		switch fields[0] {
+		case "+":
+			op = DeltaAdd
+		case "-":
+			op = DeltaRemove
+		case "=":
+			op = DeltaSet
+		default:
+			return nil, fmt.Errorf("graph: delta line %d: want op '+', '-' or '=', got %q", lineNo, fields[0])
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph: delta line %d: want at least 3 fields, got %q", lineNo, line)
+		}
+		from, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: delta line %d: bad source %q: %v", lineNo, fields[1], err)
+		}
+		to, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: delta line %d: bad target %q: %v", lineNo, fields[2], err)
+		}
+		e := DeltaEdge{Op: op, From: uint32(from), To: uint32(to), Weight: 1}
+		switch op {
+		case DeltaAdd:
+			if len(fields) >= 4 {
+				e.Weight, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: delta line %d: bad weight %q: %v", lineNo, fields[3], err)
+				}
+				if !(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+					return nil, fmt.Errorf("graph: delta line %d: non-positive or non-finite weight %g", lineNo, e.Weight)
+				}
+			}
+		case DeltaRemove:
+			e.Weight = 0
+			if len(fields) > 3 {
+				return nil, fmt.Errorf("graph: delta line %d: remove takes no weight, got %q", lineNo, line)
+			}
+		case DeltaSet:
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graph: delta line %d: set needs an explicit weight, got %q", lineNo, line)
+			}
+			e.Weight, err = strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: delta line %d: bad weight %q: %v", lineNo, fields[3], err)
+			}
+			if !(e.Weight >= 0) || math.IsInf(e.Weight, 0) {
+				return nil, fmt.Errorf("graph: delta line %d: negative or non-finite weight %g", lineNo, e.Weight)
+			}
+		}
+		d.Ops = append(d.Ops, e)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("graph: delta line %d: %w (lines are limited to 1 MiB)", lineNo+1, err)
+		}
+		return nil, fmt.Errorf("graph: scanning delta list: %w", err)
+	}
+	return &d, nil
+}
+
+// ReadDeltaListFile opens path and parses it with ReadDeltaList.
+func ReadDeltaListFile(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDeltaList(f)
+}
+
+// WriteDeltaList emits the batch in the delta text format; ReadDeltaList on
+// the output reproduces the ops bit for bit.
+func (d *Delta) WriteDeltaList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# delta: %d ops\n", len(d.Ops))
+	for _, op := range d.Ops {
+		switch op.Op {
+		case DeltaAdd:
+			if op.Weight == 1 {
+				fmt.Fprintf(bw, "+ %d %d\n", op.From, op.To)
+			} else {
+				fmt.Fprintf(bw, "+ %d %d %g\n", op.From, op.To, op.Weight)
+			}
+		case DeltaRemove:
+			fmt.Fprintf(bw, "- %d %d\n", op.From, op.To)
+		case DeltaSet:
+			fmt.Fprintf(bw, "= %d %d %g\n", op.From, op.To, op.Weight)
+		}
+	}
+	return bw.Flush()
+}

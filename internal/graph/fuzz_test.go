@@ -2,12 +2,128 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
 
 // FuzzReadEdgeList: arbitrary input must never panic; accepted input must
 // produce a graph that validates and survives a write/read round trip.
+// FuzzDeltaReplay: for any parseable (graph, delta) pair, Delta.Apply must
+// match an independent oracle that replays the ops onto a plain edge map and
+// rebuilds the graph from scratch — canonically hash-identical, structurally
+// valid, and with a deterministic chained hash. Seeds cover duplicate adds,
+// remove-nonexistent, reweight-to-zero, and self-loops.
+func FuzzDeltaReplay(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n", "+ 0 1\n+ 0 1 2\n", false)
+	f.Add("0 1\n", "- 5 6\n- 0 1\n", false)
+	f.Add("0 1 2\n1 2 3\n", "= 0 1 0\n= 1 2 0.5\n", false)
+	f.Add("0 0 1.5\n0 1\n", "+ 1 1\n+ 2 2 0.25\n- 0 0\n", false)
+	f.Add("0 1\n1 2\n", "+ 3 4 2\n= 4 5 1\n- 1 2\n", true)
+	f.Add("", "+ 0 0\n", false)
+	f.Fuzz(func(t *testing.T, graphInput, deltaInput string, directed bool) {
+		g, _, err := ReadEdgeList(strings.NewReader(graphInput), directed)
+		if err != nil {
+			return
+		}
+		d, err := ReadDeltaList(strings.NewReader(deltaInput))
+		if err != nil {
+			return
+		}
+		child, err := d.Apply(g)
+		if err != nil {
+			// Apply may legitimately reject (e.g. accumulated weight
+			// overflow); it must just never produce a bad graph.
+			return
+		}
+		if err := child.Validate(); err != nil {
+			t.Fatalf("applied graph fails validation: %v (graph %q delta %q)", err, graphInput, deltaInput)
+		}
+
+		// Oracle: replay onto a bare map, then rebuild from scratch.
+		key := func(u, v uint32) [2]uint32 {
+			if !directed && v < u {
+				return [2]uint32{v, u}
+			}
+			return [2]uint32{u, v}
+		}
+		weight := make(map[[2]uint32]float64)
+		for u := 0; u < g.N(); u++ {
+			nb, ws := g.OutNeighbors(u), g.OutWeights(u)
+			for i, v := range nb {
+				if !directed && int(v) < u {
+					continue
+				}
+				weight[key(uint32(u), v)] = ws[i]
+			}
+		}
+		n := g.N()
+		for _, op := range d.Ops {
+			if int(op.From) >= n {
+				n = int(op.From) + 1
+			}
+			if int(op.To) >= n {
+				n = int(op.To) + 1
+			}
+			switch op.Op {
+			case DeltaAdd:
+				weight[key(op.From, op.To)] += op.Weight
+			case DeltaRemove:
+				delete(weight, key(op.From, op.To))
+			case DeltaSet:
+				if op.Weight == 0 {
+					delete(weight, key(op.From, op.To))
+				} else {
+					weight[key(op.From, op.To)] = op.Weight
+				}
+			}
+		}
+		b := NewBuilder(n, directed)
+		for _, k := range SortedKeysFunc(weight, func(a, b [2]uint32) int {
+			if a[0] != b[0] {
+				if a[0] < b[0] {
+					return -1
+				}
+				return 1
+			}
+			if a[1] < b[1] {
+				return -1
+			} else if a[1] > b[1] {
+				return 1
+			}
+			return 0
+		}) {
+			if w := weight[k]; w > 0 && !math.IsInf(w, 0) {
+				if err := b.AddEdge(k[0], k[1], w); err != nil {
+					t.Fatalf("oracle AddEdge: %v", err)
+				}
+			}
+		}
+		oracle := b.Build()
+		if child.CanonicalHash() != oracle.CanonicalHash() {
+			t.Fatalf("Apply diverged from scratch rebuild (graph %q delta %q)", graphInput, deltaInput)
+		}
+
+		// Chained hash is a pure function of (parent, ops).
+		parent := g.CanonicalHash()
+		if d.Hash(parent) != d.Hash(parent) {
+			t.Fatal("delta hash not deterministic")
+		}
+		// Text round trip preserves the ops and therefore the hash.
+		var buf bytes.Buffer
+		if err := d.WriteDeltaList(&buf); err != nil {
+			t.Fatalf("WriteDeltaList: %v", err)
+		}
+		d2, err := ReadDeltaList(&buf)
+		if err != nil {
+			t.Fatalf("delta round trip rejected: %v", err)
+		}
+		if d2.Hash(parent) != d.Hash(parent) {
+			t.Fatal("delta round trip changed the chained hash")
+		}
+	})
+}
+
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("1 2\n2 3\n")
 	f.Add("# comment\n5 5 2.5\n")

@@ -99,12 +99,12 @@ func TestRunHierarchicalContextCanceled(t *testing.T) {
 // buggy backend, exercising the worker panic-to-error recovery.
 type panicAccum struct{}
 
-func (panicAccum) Accumulate(uint32, float64)      { panic("injected accumulator fault") }
-func (panicAccum) Lookup(uint32) (float64, bool)   { return 0, false }
+func (panicAccum) Accumulate(uint32, float64)       { panic("injected accumulator fault") }
+func (panicAccum) Lookup(uint32) (float64, bool)    { return 0, false }
 func (panicAccum) Gather(dst []accum.KV) []accum.KV { return dst }
-func (panicAccum) Reset()                          {}
-func (panicAccum) Stats() accum.Stats              { return accum.Stats{} }
-func (panicAccum) Name() string                    { return "panic" }
+func (panicAccum) Reset()                           {}
+func (panicAccum) Stats() accum.Stats               { return accum.Stats{} }
+func (panicAccum) Name() string                     { return "panic" }
 
 func TestWorkerPanicBecomesError(t *testing.T) {
 	g, _, err := gen.SBM(gen.SBMParams{Sizes: []int{20, 20}, PIn: 0.4, POut: 0.05}, rng.New(2))
@@ -131,7 +131,7 @@ func TestWorkerPanicBecomesError(t *testing.T) {
 		}
 		pool := sched.NewPool(nWorkers)
 		_, _, err := optimizeLevel(context.Background(), st, flow, workers, pool,
-			DefaultOptions(), newRand(1), trace.NewBreakdown(), 0, &Result{}, nil)
+			DefaultOptions(), newRand(1), trace.NewBreakdown(), 0, &Result{}, nil, nil)
 		pool.Close()
 		if err == nil {
 			t.Fatalf("workers=%d: injected panic not surfaced", nWorkers)

@@ -57,6 +57,24 @@ func (o Options) Fingerprint() string {
 	u64(o.Seed)
 	f64(o.Damping)
 	u64(uint64(o.Teleport))
+	// The warm-start seed partition and its frontier restriction change
+	// which vertices are re-optimized and from where, so they are fully
+	// result-relevant. A nil WarmStart (cold run) is distinguished from an
+	// empty-but-present one by the leading presence byte.
+	if o.WarmStart == nil {
+		h.Write([]byte{0})
+	} else {
+		h.Write([]byte{1})
+		u64(uint64(len(o.WarmStart)))
+		for _, m := range o.WarmStart {
+			u64(uint64(m))
+		}
+	}
+	u64(uint64(len(o.FrontierSeeds)))
+	for _, s := range o.FrontierSeeds {
+		u64(uint64(s))
+	}
+	u64(uint64(o.FrontierHops))
 
 	return hex.EncodeToString(h.Sum(nil))
 }

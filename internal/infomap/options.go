@@ -132,6 +132,28 @@ type Options struct {
 	// Teleport selects recorded (paper/HyPC-Map) or unrecorded (modern
 	// Infomap default) teleportation for directed graphs.
 	Teleport Teleportation
+	// WarmStart, when non-nil, seeds the run from a parent version's
+	// partition instead of singletons: WarmStart[v] is vertex v's starting
+	// module and len(WarmStart) must equal the graph's vertex count (module
+	// IDs need not be dense; they are compacted on entry). This is the
+	// incremental-detection path: after a delta batch, re-detection starts
+	// where the parent version converged. The seed partition is
+	// result-relevant, so it joins the options fingerprint.
+	WarmStart []uint32
+	// FrontierSeeds are the vertices a delta batch touched. When WarmStart
+	// is set and FrontierSeeds is non-empty, only vertices within
+	// FrontierHops hops of a seed are re-optimized at the leaf level; the
+	// rest stay frozen in their warm-start modules (they still merge at
+	// super levels). Empty FrontierSeeds means no restriction — the whole
+	// graph re-optimizes from the warm seed. Setting FrontierSeeds without
+	// WarmStart is an error.
+	FrontierSeeds []uint32
+	// FrontierHops is the k of the k-hop frontier around FrontierSeeds.
+	// 0 re-optimizes the touched vertices alone; values large enough to
+	// cover the whole graph make the run byte-identical to an unrestricted
+	// warm start (the contract the differential tier pins). Ignored unless
+	// WarmStart and FrontierSeeds are both set; negative is an error.
+	FrontierHops int
 	// Clock supplies the wall-clock reads behind Elapsed and the per-sweep
 	// timings. Nil means the real clock; tests inject clock.Fake to make
 	// timing fields deterministic. Timings never influence the partition,
@@ -199,6 +221,12 @@ func (o Options) validate() error {
 	case Baseline, ASA, GoMap, HashGraph:
 	default:
 		return fmt.Errorf("infomap: unknown accumulator kind %d", int(o.Kind))
+	}
+	if o.FrontierHops < 0 {
+		return fmt.Errorf("infomap: FrontierHops %d < 0", o.FrontierHops)
+	}
+	if o.WarmStart == nil && len(o.FrontierSeeds) > 0 {
+		return fmt.Errorf("infomap: FrontierSeeds set without WarmStart")
 	}
 	return nil
 }
@@ -274,6 +302,13 @@ type Result struct {
 	// Steals is the total number of blocks executed by a worker other than
 	// the owner of their span, summed over all sweeps.
 	Steals uint64
+	// FrontierSize is the number of leaf vertices the warm-start frontier
+	// allowed to re-optimize (the whole graph for an unrestricted warm
+	// start; 0 for a cold run).
+	FrontierSize int
+	// FrozenVertices is the number of leaf vertices the warm-start frontier
+	// froze in their seeded modules (0 for cold or unrestricted runs).
+	FrozenVertices int
 	// Elapsed is the total wall time of the run.
 	Elapsed time.Duration
 }

@@ -200,9 +200,19 @@ func (s *Span) SetFloat(key string, v float64) {
 	s.setAttr(key, strconv.FormatFloat(v, 'g', -1, 64), false)
 }
 
+// SetBool records a deterministic boolean attribute ("true"/"false").
+func (s *Span) SetBool(key string, v bool) {
+	s.setAttr(key, strconv.FormatBool(v), false)
+}
+
 // SetVolatileAttr records a schedule- or time-dependent attribute, excluded
 // from the canonical tree but kept in the Chrome export and /debug/trace.
 func (s *Span) SetVolatileAttr(key, value string) { s.setAttr(key, value, true) }
+
+// SetVolatileBool records a volatile boolean attribute.
+func (s *Span) SetVolatileBool(key string, v bool) {
+	s.setAttr(key, strconv.FormatBool(v), true)
+}
 
 // SetVolatileUint records a volatile integer attribute.
 func (s *Span) SetVolatileUint(key string, v uint64) {

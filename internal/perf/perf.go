@@ -153,10 +153,11 @@ type Model struct {
 	HGGatherKV  EventCost // per merged pair copied out by Gather
 
 	// Kernel work outside the accumulators (identical for both backends).
-	ArcVisit   EventCost // per adjacency arc processed (loads, flow lookup)
-	Candidate  EventCost // per candidate module ΔL evaluation (log2 math)
-	VertexOver EventCost // per vertex processed (setup, reset, bookkeeping)
-	MoveApply  EventCost // per applied module move (bookkeeping updates)
+	ArcVisit     EventCost // per adjacency arc processed (loads, flow lookup)
+	Candidate    EventCost // per candidate module ΔL evaluation (log2 math)
+	VertexOver   EventCost // per vertex processed (setup, reset, bookkeeping)
+	MoveApply    EventCost // per applied module move (bookkeeping updates)
+	FrontierSkip EventCost // per vertex a warm-start frontier excluded from a sweep (mask test only)
 }
 
 // DefaultModel returns the calibrated cost model for a machine. Constants
@@ -198,6 +199,10 @@ func DefaultModel(m Machine) *Model {
 		Candidate:  EventCost{Instr: 130, Branches: 8, MispredictRate: 0.12, MemAccesses: 1, MemMissRate: 0.07},
 		VertexOver: EventCost{Instr: 60, Branches: 8, MispredictRate: 0.06, MemAccesses: 2, MemMissRate: 0.05},
 		MoveApply:  EventCost{Instr: 50, Branches: 3, MispredictRate: 0.05, MemAccesses: 4, MemMissRate: 0.10},
+		// Skipping a frozen vertex is one well-predicted mask load — the
+		// model's way of pricing what warm-start saves: a skip costs ~2
+		// instructions where a full VertexOver evaluation costs ~60.
+		FrontierSkip: EventCost{Instr: 2, Branches: 1, MispredictRate: 0.01, MemAccesses: 0.1, MemMissRate: 0.02},
 	}
 }
 
@@ -282,6 +287,7 @@ type KernelWork struct {
 	CandidatesEvaluated uint64 // candidate modules whose ΔL was computed
 	VerticesProcessed   uint64 // vertices whose best community was sought
 	MovesApplied        uint64 // module changes committed
+	FrontierFrozen      uint64 // vertices excluded from a leaf sweep by the warm-start frontier
 }
 
 // Add accumulates o into w.
@@ -290,6 +296,7 @@ func (w *KernelWork) Add(o KernelWork) {
 	w.CandidatesEvaluated += o.CandidatesEvaluated
 	w.VerticesProcessed += o.VerticesProcessed
 	w.MovesApplied += o.MovesApplied
+	w.FrontierFrozen += o.FrontierFrozen
 }
 
 // Sub returns w minus o field-wise, clamped at zero.
@@ -305,6 +312,7 @@ func (w KernelWork) Sub(o KernelWork) KernelWork {
 		CandidatesEvaluated: d(w.CandidatesEvaluated, o.CandidatesEvaluated),
 		VerticesProcessed:   d(w.VerticesProcessed, o.VerticesProcessed),
 		MovesApplied:        d(w.MovesApplied, o.MovesApplied),
+		FrontierFrozen:      d(w.FrontierFrozen, o.FrontierFrozen),
 	}
 }
 
@@ -315,5 +323,6 @@ func (m *Model) KernelCost(w KernelWork) Counters {
 	m.apply(&c, m.Candidate, float64(w.CandidatesEvaluated))
 	m.apply(&c, m.VertexOver, float64(w.VerticesProcessed))
 	m.apply(&c, m.MoveApply, float64(w.MovesApplied))
+	m.apply(&c, m.FrontierSkip, float64(w.FrontierFrozen))
 	return c
 }

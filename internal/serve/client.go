@@ -140,6 +140,55 @@ func (c *Client) UploadGraph(ctx context.Context, edgeList io.Reader, directed b
 	return info, nil
 }
 
+// UploadDelta streams a delta-edge batch onto a registered graph or version
+// and returns the resulting version's lineage metadata. Identical deltas on
+// the same parent deduplicate server-side (the version id is a pure function
+// of parent digest + ordered ops).
+func (c *Client) UploadDelta(ctx context.Context, parent string, delta io.Reader) (VersionInfo, error) {
+	url := c.base + "/v1/graphs/" + parent + "/delta"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, delta)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	var info VersionInfo
+	if err := c.do(req, &info); err != nil {
+		return VersionInfo{}, err
+	}
+	return info, nil
+}
+
+// Version fetches the lineage metadata of a version by id.
+func (c *Client) Version(ctx context.Context, id string) (VersionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/versions/"+id, nil)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	var info VersionInfo
+	if err := c.do(req, &info); err != nil {
+		return VersionInfo{}, err
+	}
+	return info, nil
+}
+
+// VersionDelta fetches the exact delta bytes that produced a version, plus
+// the parent id they apply to (from the X-Asamap-Parent header). Applying
+// the bytes to the same parent on another replica derives the same version.
+func (c *Client) VersionDelta(ctx context.Context, id string) (delta []byte, parent string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/versions/"+id+"/delta", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, raw, err := c.send(req)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", responseError(resp, raw)
+	}
+	return raw, resp.Header.Get("X-Asamap-Parent"), nil
+}
+
 // GraphInfo fetches the registered shape of a graph by hash.
 func (c *Client) GraphInfo(ctx context.Context, hash string) (GraphInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/graphs/"+hash, nil)

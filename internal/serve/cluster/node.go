@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -127,13 +128,14 @@ type Node struct {
 	logger  *slog.Logger
 	handler http.Handler
 
-	forwarded     atomic.Uint64 // requests proxied to an owner
-	failovers     atomic.Uint64 // forwards that fell through to a secondary owner
-	degraded      atomic.Uint64 // requests served by local compute because every owner was unreachable
-	peerCacheHits atomic.Uint64 // results adopted from a sibling owner's cache
-	peerCacheMiss atomic.Uint64 // sibling cache probes that found nothing
-	replFailures  atomic.Uint64 // graph replications that could not reach an owner
-	graphFetches  atomic.Uint64 // graphs pulled from a peer on demand
+	forwarded      atomic.Uint64 // requests proxied to an owner
+	failovers      atomic.Uint64 // forwards that fell through to a secondary owner
+	degraded       atomic.Uint64 // requests served by local compute because every owner was unreachable
+	peerCacheHits  atomic.Uint64 // results adopted from a sibling owner's cache
+	peerCacheMiss  atomic.Uint64 // sibling cache probes that found nothing
+	replFailures   atomic.Uint64 // graph replications that could not reach an owner
+	graphFetches   atomic.Uint64 // graphs pulled from a peer on demand
+	versionFetches atomic.Uint64 // delta versions replayed from a peer on demand
 }
 
 // NewNode wraps local in the cluster layer described by cfg.
@@ -167,6 +169,7 @@ func NewNode(local *serve.Server, cfg Config) *Node {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", n.handleDetect)
 	mux.HandleFunc("POST /v1/graphs", n.handleUpload)
+	mux.HandleFunc("POST /v1/graphs/{hash}/delta", n.handleDeltaUpload)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("GET /cluster/status", n.handleStatus)
 	mux.Handle("/", local.Mux())
@@ -280,10 +283,11 @@ func (n *Node) serveOwnedDetect(w http.ResponseWriter, r *http.Request, raw []by
 	if w.Header().Get(HeaderCluster) == "" {
 		n.markPath(w, r, "local")
 	}
-	// A forwarded detect can land here before the graph's replication did
-	// (or ever could — its uploader may have died); pull it on demand.
-	if _, _, ok := n.local.Registry().Get(graphHash); !ok && len(n.peers) > 0 {
-		n.fetchGraph(r.Context(), graphHash)
+	// A forwarded detect can land here before the graph's (or version
+	// lineage's) replication did — or ever could, its uploader may have
+	// died; pull it on demand.
+	if _, ok := n.local.Registry().Resolve(graphHash); !ok && len(n.peers) > 0 {
+		n.fetchVersion(r.Context(), graphHash)
 	}
 	n.serveLocal(w, r, raw)
 }
@@ -341,8 +345,8 @@ func (n *Node) forwardDetect(w http.ResponseWriter, r *http.Request, raw []byte,
 	// than surface the cluster's bad day to the client.
 	n.degraded.Add(1)
 	n.markPath(w, r, "degraded")
-	if _, _, ok := n.local.Registry().Get(graphHash); !ok && len(n.peers) > 0 {
-		n.fetchGraph(r.Context(), graphHash)
+	if _, ok := n.local.Registry().Resolve(graphHash); !ok && len(n.peers) > 0 {
+		n.fetchVersion(r.Context(), graphHash)
 	}
 	n.serveLocal(w, r, raw)
 }
@@ -422,13 +426,103 @@ func (n *Node) replicateGraph(ctx context.Context, raw []byte, directed bool, ha
 	}
 }
 
-// fetchGraph replicates a graph on demand: ask its owners (then every other
-// peer) for the canonical edge list and register it locally. Content
-// addressing guarantees the re-registered graph has the same hash.
-func (n *Node) fetchGraph(ctx context.Context, hash string) bool {
+// handleDeltaUpload applies a delta batch onto a parent graph or version.
+// The parent may live only on other replicas (the ring shards versions by
+// their own ids, not their parents'), so the node first ensures the parent's
+// whole lineage locally, then applies the delta and replicates the raw bytes
+// to the new version's ring owners. Chained hashing makes replication
+// idempotent and order-safe: every replica that applies the same delta to
+// the same parent derives the same version id.
+func (n *Node) handleDeltaUpload(w http.ResponseWriter, r *http.Request) {
+	parent := r.PathValue("hash")
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, ok := n.local.Registry().Resolve(parent); !ok && len(n.peers) > 0 {
+		n.fetchVersion(r.Context(), parent)
+	}
+	info, err := n.local.Registry().AddVersion(parent, raw)
+	if err != nil {
+		if errors.Is(err, serve.ErrUnknownParent) {
+			jsonError(w, http.StatusNotFound, "unknown parent graph or version")
+			return
+		}
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n.markPath(w, r, "local")
+	// Replicate only first-hand uploads, mirroring handleUpload: a copy
+	// arriving from a peer carries the forwarded marker and must not fan out
+	// again.
+	if len(n.peers) > 0 && r.Header.Get(HeaderForwarded) == "" {
+		n.replicateDelta(r.Context(), parent, raw, info.ID)
+	}
+	status := http.StatusCreated
+	if info.Reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// replicateDelta pushes a delta to the new version's ring owners so detect
+// forwards for the version land on replicas that already hold its lineage.
+// A receiving owner that is missing the parent fetches the ancestor chain on
+// demand before applying. Failures degrade, not fail.
+func (n *Node) replicateDelta(ctx context.Context, parent string, raw []byte, id string) {
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "text/plain")
+	hdr.Set(HeaderForwarded, "1")
+	for _, p := range n.owners(id) {
+		if p == n.cfg.Self || n.peers[p] == nil {
+			continue
+		}
+		resp, err := n.peers[p].Do(ctx, http.MethodPost, "/v1/graphs/"+parent+"/delta", hdr, raw, "delta|"+id)
+		if err != nil || resp.Status >= 400 {
+			n.replFailures.Add(1)
+			n.logger.Warn("cluster: delta replication failed",
+				"owner", p, "version", id, "error", errString(err, resp))
+		}
+	}
+}
+
+// fetchVersion materializes an id on demand, whatever it names: a base graph
+// replicates as its canonical edge list, a delta version as its raw delta
+// bytes applied onto a recursively fetched parent. The chained version hash
+// guarantees the locally replayed lineage converges on the same id the
+// sending replica holds.
+func (n *Node) fetchVersion(ctx context.Context, id string) bool {
+	if _, ok := n.local.Registry().Resolve(id); ok {
+		return true
+	}
+	for _, p := range n.peerOrder(id) {
+		resp, err := n.peers[p].Do(ctx, http.MethodGet, "/v1/versions/"+id+"/delta", nil, nil, "version|"+id)
+		if err != nil || resp.Status != http.StatusOK {
+			continue // not a version on this peer (or the peer is dark)
+		}
+		parent := resp.Header.Get("X-Asamap-Parent")
+		if parent == "" || !n.fetchVersion(ctx, parent) {
+			continue
+		}
+		if _, err := n.local.Registry().AddVersion(parent, resp.Body); err != nil {
+			n.logger.Warn("cluster: fetched delta failed to apply",
+				"peer", p, "version", id, "error", err.Error())
+			continue
+		}
+		n.versionFetches.Add(1)
+		return true
+	}
+	// Not served as a version anywhere reachable: try it as a base graph.
+	return n.fetchGraph(ctx, id)
+}
+
+// peerOrder returns the reachable peers in preference order for key: ring
+// owners first, then everyone else.
+func (n *Node) peerOrder(key string) []int {
 	seen := make([]bool, len(n.peers))
 	order := make([]int, 0, len(n.peers))
-	for _, p := range n.owners(hash) {
+	for _, p := range n.owners(key) {
 		if p != n.cfg.Self && n.peers[p] != nil {
 			seen[p] = true
 			order = append(order, p)
@@ -439,7 +533,14 @@ func (n *Node) fetchGraph(ctx context.Context, hash string) bool {
 			order = append(order, p)
 		}
 	}
-	for _, p := range order {
+	return order
+}
+
+// fetchGraph replicates a graph on demand: ask its owners (then every other
+// peer) for the canonical edge list and register it locally. Content
+// addressing guarantees the re-registered graph has the same hash.
+func (n *Node) fetchGraph(ctx context.Context, hash string) bool {
+	for _, p := range n.peerOrder(hash) {
 		resp, err := n.peers[p].Do(ctx, http.MethodGet, "/v1/graphs/"+hash+"/data", nil, nil, "graph|"+hash)
 		if err != nil || resp.Status != http.StatusOK {
 			continue
@@ -468,6 +569,7 @@ type ClusterStats struct {
 	PeerCacheMisses uint64               `json:"peer_cache_misses"`
 	ReplFailures    uint64               `json:"replication_failures"`
 	GraphFetches    uint64               `json:"graph_fetches"`
+	VersionFetches  uint64               `json:"version_fetches"`
 	PeerStats       map[string]PeerStats `json:"peer_stats,omitempty"`
 	Breakers        map[string]string    `json:"breakers,omitempty"`
 }
@@ -485,6 +587,7 @@ func (n *Node) Stats() ClusterStats {
 		PeerCacheMisses: n.peerCacheMiss.Load(),
 		ReplFailures:    n.replFailures.Load(),
 		GraphFetches:    n.graphFetches.Load(),
+		VersionFetches:  n.versionFetches.Load(),
 	}
 	if len(n.peers) > 0 {
 		st.PeerStats = make(map[string]PeerStats)
@@ -519,6 +622,7 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE asamap_cluster_peer_cache_misses_total counter\nasamap_cluster_peer_cache_misses_total %d\n", n.peerCacheMiss.Load())
 	fmt.Fprintf(w, "# TYPE asamap_cluster_replication_failures_total counter\nasamap_cluster_replication_failures_total %d\n", n.replFailures.Load())
 	fmt.Fprintf(w, "# TYPE asamap_cluster_graph_fetches_total counter\nasamap_cluster_graph_fetches_total %d\n", n.graphFetches.Load())
+	fmt.Fprintf(w, "# TYPE asamap_cluster_version_fetches_total counter\nasamap_cluster_version_fetches_total %d\n", n.versionFetches.Load())
 	for i, pc := range n.peers {
 		if pc == nil {
 			continue

@@ -27,9 +27,12 @@ type GraphInfo struct {
 // RegistryStats is a point-in-time snapshot of registry activity.
 type RegistryStats struct {
 	Graphs        int    `json:"graphs"`         // distinct canonical graphs held
+	Versions      int    `json:"versions"`       // delta-derived graph versions held
 	Parses        uint64 `json:"parses"`         // edge-list parses performed
 	RawHits       uint64 `json:"raw_hits"`       // uploads skipped by raw-byte hash
 	CanonicalHits uint64 `json:"canonical_hits"` // parses that deduplicated into an existing graph
+	DeltaApplies  uint64 `json:"delta_applies"`  // delta batches materialized into versions
+	VersionHits   uint64 `json:"version_hits"`   // delta uploads deduplicated by chained hash
 }
 
 // Registry is the content-addressed graph store. Graphs are immutable once
@@ -50,13 +53,16 @@ type RegistryStats struct {
 type Registry struct {
 	mu          sync.RWMutex
 	byCanonical map[string]*regEntry
-	byRaw       map[string]string // raw-byte key -> canonical hash
+	byRaw       map[string]string        // raw-byte key -> canonical hash
+	versions    map[string]*versionEntry // chained delta hash -> version
 
 	flight flightGroup
 
 	parses        atomic.Uint64
 	rawHits       atomic.Uint64
 	canonicalHits atomic.Uint64
+	deltaApplies  atomic.Uint64
+	versionHits   atomic.Uint64
 }
 
 type regEntry struct {
@@ -69,6 +75,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		byCanonical: make(map[string]*regEntry),
 		byRaw:       make(map[string]string),
+		versions:    make(map[string]*versionEntry),
 	}
 }
 
@@ -169,12 +176,16 @@ func (r *Registry) Get(hash string) (*graph.Graph, GraphInfo, bool) {
 func (r *Registry) Stats() RegistryStats {
 	r.mu.RLock()
 	n := len(r.byCanonical)
+	nv := len(r.versions)
 	r.mu.RUnlock()
 	return RegistryStats{
 		Graphs:        n,
+		Versions:      nv,
 		Parses:        r.parses.Load(),
 		RawHits:       r.rawHits.Load(),
 		CanonicalHits: r.canonicalHits.Load(),
+		DeltaApplies:  r.deltaApplies.Load(),
+		VersionHits:   r.versionHits.Load(),
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 
 	"github.com/asamap/asamap/internal/asa"
 	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/graph"
 	"github.com/asamap/asamap/internal/infomap"
 	"github.com/asamap/asamap/internal/obs"
 	"github.com/asamap/asamap/internal/rng"
@@ -154,6 +155,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphInfo)
 	mux.HandleFunc("GET /v1/graphs/{hash}/data", s.handleGraphData)
+	mux.HandleFunc("POST /v1/graphs/{hash}/delta", s.handleDeltaUpload)
+	mux.HandleFunc("GET /v1/versions/{id}", s.handleVersionInfo)
+	mux.HandleFunc("GET /v1/versions/{id}/delta", s.handleVersionDelta)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -215,7 +219,22 @@ type DetectOptions struct {
 	Seed           uint64  `json:"seed,omitempty"`
 	Damping        float64 `json:"damping,omitempty"`
 	Teleport       string  `json:"teleport,omitempty"` // recorded | unrecorded
+	// WarmStart asks the server to seed the run from the parent version's
+	// partition instead of starting cold. The target graph must be a delta
+	// version (it needs a lineage); the server replays the lineage from the
+	// base graph forward, so the response is a deterministic function of the
+	// chain — byte-identical however many replicas or requests compute it.
+	WarmStart bool `json:"warm_start,omitempty"`
+	// FrontierHops bounds re-optimization to vertices within this many hops
+	// of the delta's touched edges at each warm step. 0 means the default
+	// (DefaultFrontierHops); negative is rejected. Only valid with WarmStart.
+	FrontierHops int `json:"frontier_hops,omitempty"`
 }
+
+// DefaultFrontierHops is the warm-start locality radius when the request
+// leaves frontier_hops unset: vertices within 2 hops of a touched edge are
+// re-optimized, the rest keep their inherited module assignment.
+const DefaultFrontierHops = 2
 
 // toOptions maps the wire options onto infomap.Options.
 func (d DetectOptions) toOptions() (infomap.Options, error) {
@@ -274,7 +293,32 @@ func (d DetectOptions) toOptions() (infomap.Options, error) {
 	if d.Damping != 0 {
 		opt.Damping = d.Damping
 	}
+	if d.FrontierHops < 0 {
+		return opt, fmt.Errorf("frontier_hops must be >= 0, got %d", d.FrontierHops)
+	}
+	if d.FrontierHops != 0 && !d.WarmStart {
+		return opt, fmt.Errorf("frontier_hops requires warm_start")
+	}
+	// WarmStart and FrontierHops are NOT mapped onto opt here: the warm seed
+	// partition and frontier are per-lineage-step inputs the server derives
+	// while walking the version chain. opt carries only the wire-computable
+	// base options, which is what makes the cache key derivable by routers
+	// that cannot resolve the lineage.
 	return opt, nil
+}
+
+// effectiveHops resolves the wire frontier radius to its default.
+func effectiveHops(hops int) int {
+	if hops == 0 {
+		return DefaultFrontierHops
+	}
+	return hops
+}
+
+// warmMarker is the cache-key suffix distinguishing a warm-start result from
+// the cold result on the same (version, options, seed) coordinates.
+func warmMarker(hops int) string {
+	return "|w" + strconv.Itoa(hops)
 }
 
 // AccumCounters is the deterministic slice of the run's accumulator
@@ -306,6 +350,21 @@ type DetectResponse struct {
 	Moves              uint64        `json:"moves"`
 	Accum              AccumCounters `json:"accum"`
 	Membership         []uint32      `json:"membership"`
+	// Warm is present only on warm-start responses, keeping cold response
+	// bodies byte-identical to those of servers that never saw a delta.
+	Warm *WarmInfo `json:"warm,omitempty"`
+}
+
+// WarmInfo records how a warm-start run was seeded. Every field is a
+// deterministic function of the version lineage and the request options, so
+// it is safe inside the byte-replayable response body.
+type WarmInfo struct {
+	Parent       string `json:"parent"`        // version or base the seed partition came from
+	Base         string `json:"base"`          // root of the lineage that was replayed
+	Depth        int    `json:"depth"`         // deltas between base and this version
+	FrontierHops int    `json:"frontier_hops"` // effective locality radius
+	FrontierSize int    `json:"frontier_size"` // vertices re-optimized at the leaf level
+	Frozen       int    `json:"frozen"`        // vertices that kept their inherited module
 }
 
 // detectKey joins the three coordinates that fully determine a response body.
@@ -317,12 +376,19 @@ func detectKey(graphHash, fingerprint string, seed uint64) string {
 // canonical graph hash, options fingerprint, and effective seed. Because a
 // run is bit-deterministic given this key, it is also the replication unit
 // the cluster router shards and the coordinate peer cache fetches address.
+// For warm-start requests the key gains a "|w<hops>" suffix derived from the
+// wire options alone — a router can compute it without resolving the version
+// lineage, even though the warm seed partition itself is lineage-derived.
 func DetectKey(graphHash string, d DetectOptions) (string, error) {
 	opt, err := d.toOptions()
 	if err != nil {
 		return "", err
 	}
-	return detectKey(graphHash, opt.Fingerprint(), opt.Seed), nil
+	key := detectKey(graphHash, opt.Fingerprint(), opt.Seed)
+	if d.WarmStart {
+		key += warmMarker(effectiveHops(d.FrontierHops))
+	}
+	return key, nil
 }
 
 // CachePeek returns the cached response bytes for a detect key without
@@ -400,6 +466,63 @@ func (s *Server) handleGraphData(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDeltaUpload applies a delta-edge batch to a registered graph or
+// version, materializing a new version addressed by the chained delta hash.
+// Re-uploading an identical delta onto the same parent answers 200 with the
+// existing version; a new version answers 201.
+func (s *Server) handleDeltaUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("delta exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := s.registry.AddVersion(r.PathValue("hash"), data)
+	if err != nil {
+		if errors.Is(err, ErrUnknownParent) {
+			httpError(w, http.StatusNotFound, "unknown parent graph or version")
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if info.Reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleVersionInfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.Version(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown version id")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleVersionDelta streams the exact delta bytes that produced a version —
+// the replication transfer format: a peer applying these bytes to the same
+// parent (named in the X-Asamap-Parent header) derives the same version id.
+func (s *Server) handleVersionDelta(w http.ResponseWriter, r *http.Request) {
+	delta, info, ok := s.registry.VersionDelta(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown version id")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Asamap-Parent", info.Parent)
+	w.WriteHeader(http.StatusOK)
+	w.Write(delta)
+}
+
 // handleCachePeek serves the cached response bytes for a detect key, or 404.
 // It never computes: peers use it to harvest each other's result caches
 // before paying for a recompute.
@@ -423,9 +546,10 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	g, _, ok := s.registry.Get(req.Graph)
+	g, ok := s.registry.Resolve(req.Graph)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown graph hash (upload via POST /v1/graphs first)")
+		httpError(w, http.StatusNotFound,
+			"unknown graph hash or version id (upload via POST /v1/graphs first)")
 		return
 	}
 	opt, err := req.Options.toOptions()
@@ -434,53 +558,26 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := opt.Fingerprint()
-	key := detectKey(req.Graph, fp, opt.Seed)
 	// Nest the run's span tree under this request's root span. Tracing is
 	// excluded from the fingerprint, so the cache key is unaffected.
 	opt.Trace = requestSpan(r.Context())
 
 	start := s.clk.Now()
-	body, outcome, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
-		jobCtx := r.Context()
-		if s.cfg.JobTimeout > 0 {
-			var cancel context.CancelFunc
-			jobCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobTimeout)
-			defer cancel()
-		}
-		var res *infomap.Result
-		handle, err := s.queue.Submit(jobCtx, func(ctx context.Context) error {
-			s.runs.Add(1)
-			var runErr error
-			res, runErr = infomap.RunContext(ctx, g, opt)
-			return runErr
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := handle.Wait(jobCtx); err != nil {
-			return nil, err
-		}
-		s.agg.Merge(res.Breakdown)
-		total := res.TotalStats()
-		return json.Marshal(DetectResponse{
-			Graph:              req.Graph,
-			Fingerprint:        fp,
-			Seed:               opt.Seed,
-			NumModules:         res.NumModules,
-			Codelength:         res.Codelength,
-			OneLevelCodelength: res.OneLevelCodelength,
-			Levels:             res.Levels,
-			Sweeps:             res.Sweeps,
-			Moves:              res.Moves,
-			Accum: AccumCounters{
-				Hits:       total.Hits,
-				Misses:     total.Misses,
-				Evictions:  total.Evictions,
-				OverflowKV: total.OverflowKV,
-			},
-			Membership: res.Membership,
-		})
-	})
+	var body []byte
+	var outcome CacheOutcome
+	if req.Options.WarmStart {
+		body, outcome, err = s.warmDetect(r.Context(), req.Graph, opt, fp,
+			effectiveHops(req.Options.FrontierHops))
+	} else {
+		body, outcome, err = s.cache.GetOrCompute(detectKey(req.Graph, fp, opt.Seed),
+			func() ([]byte, error) {
+				res, err := s.computeDetect(r.Context(), g, opt)
+				if err != nil {
+					return nil, err
+				}
+				return marshalDetect(req.Graph, fp, opt.Seed, res, nil)
+			})
+	}
 	if err != nil {
 		requestLogger(r.Context(), s.logger).Warn("detect failed",
 			"graph", req.Graph, "error", err.Error())
@@ -494,10 +591,146 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// computeDetect runs one detection job through the bounded queue, honoring
+// the configured job timeout, and folds its kernel breakdown into the
+// server-wide aggregate.
+func (s *Server) computeDetect(ctx context.Context, g *graph.Graph, opt infomap.Options) (*infomap.Result, error) {
+	jobCtx := ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	var res *infomap.Result
+	handle, err := s.queue.Submit(jobCtx, func(ctx context.Context) error {
+		s.runs.Add(1)
+		var runErr error
+		res, runErr = infomap.RunContext(ctx, g, opt)
+		return runErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := handle.Wait(jobCtx); err != nil {
+		return nil, err
+	}
+	s.agg.Merge(res.Breakdown)
+	return res, nil
+}
+
+// marshalDetect renders the deterministic response body for one run. fp is
+// the wire-options fingerprint (warm steps keep the base fingerprint in the
+// body; the warm seed itself is committed by the version id in the key).
+func marshalDetect(graphID, fp string, seed uint64, res *infomap.Result, warm *WarmInfo) ([]byte, error) {
+	total := res.TotalStats()
+	return json.Marshal(DetectResponse{
+		Graph:              graphID,
+		Fingerprint:        fp,
+		Seed:               seed,
+		NumModules:         res.NumModules,
+		Codelength:         res.Codelength,
+		OneLevelCodelength: res.OneLevelCodelength,
+		Levels:             res.Levels,
+		Sweeps:             res.Sweeps,
+		Moves:              res.Moves,
+		Accum: AccumCounters{
+			Hits:       total.Hits,
+			Misses:     total.Misses,
+			Evictions:  total.Evictions,
+			OverflowKV: total.OverflowKV,
+		},
+		Membership: res.Membership,
+		Warm:       warm,
+	})
+}
+
+// errWarmNeedsVersion rejects warm_start on a graph with no parent lineage.
+var errWarmNeedsVersion = errors.New(
+	"warm_start requires a delta version (the graph has no parent lineage)")
+
+// warmDetect replays the target's version lineage base→target, seeding each
+// step from its parent's partition and re-optimizing only vertices within
+// the frontier radius of that step's touched edges. Every step is cached
+// under its own key — the base under the ordinary cold key, each version
+// under its warm key — so an incremental update after k prior deltas costs
+// one warm run, not k, and the whole walk is a deterministic function of the
+// lineage: byte-identical wherever and whenever it is recomputed.
+func (s *Server) warmDetect(ctx context.Context, target string, opt infomap.Options, fp string, hops int) ([]byte, CacheOutcome, error) {
+	lineage, ok := s.registry.Lineage(target)
+	if !ok || len(lineage) < 2 {
+		return nil, "", errWarmNeedsVersion
+	}
+	base := lineage[0]
+	bg, okb := s.registry.Resolve(base)
+	if !okb {
+		return nil, "", fmt.Errorf("serve: lineage base %s vanished", base)
+	}
+	// Base step: a plain cold run under the ordinary cold key, so a prior
+	// cold detect on the base graph is reused as-is (and vice versa).
+	body, outcome, err := s.cache.GetOrCompute(detectKey(base, fp, opt.Seed),
+		func() ([]byte, error) {
+			res, err := s.computeDetect(ctx, bg, opt)
+			if err != nil {
+				return nil, err
+			}
+			return marshalDetect(base, fp, opt.Seed, res, nil)
+		})
+	if err != nil {
+		return nil, "", err
+	}
+	for i := 1; i < len(lineage); i++ {
+		vid := lineage[i]
+		vg, touched, okv := s.registry.VersionGraph(vid)
+		if !okv {
+			return nil, "", fmt.Errorf("serve: lineage step %s vanished", vid)
+		}
+		info, _ := s.registry.Version(vid)
+		var parent DetectResponse
+		if err := json.Unmarshal(body, &parent); err != nil {
+			return nil, "", fmt.Errorf("serve: decoding cached parent result: %w", err)
+		}
+		// Versions never shrink the vertex set, so the parent partition
+		// extends by giving each new vertex a fresh singleton module.
+		seedM := make([]uint32, vg.N())
+		copy(seedM, parent.Membership)
+		next := uint32(parent.NumModules)
+		for j := len(parent.Membership); j < vg.N(); j++ {
+			seedM[j] = next
+			next++
+		}
+		stepOpt := opt
+		stepOpt.WarmStart = seedM
+		stepOpt.FrontierSeeds = touched
+		stepOpt.FrontierHops = hops
+		parentID := lineage[i-1]
+		body, outcome, err = s.cache.GetOrCompute(detectKey(vid, fp, opt.Seed)+warmMarker(hops),
+			func() ([]byte, error) {
+				res, err := s.computeDetect(ctx, vg, stepOpt)
+				if err != nil {
+					return nil, err
+				}
+				return marshalDetect(vid, fp, opt.Seed, res, &WarmInfo{
+					Parent:       parentID,
+					Base:         base,
+					Depth:        info.Depth,
+					FrontierHops: hops,
+					FrontierSize: res.FrontierSize,
+					Frozen:       res.FrozenVertices,
+				})
+			})
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	return body, outcome, nil
+}
+
 // writeDetectError maps queue and context failures onto HTTP statuses.
 func (s *Server) writeDetectError(w http.ResponseWriter, err error) {
 	var full *ErrQueueFull
 	switch {
+	case errors.Is(err, errWarmNeedsVersion):
+		httpError(w, http.StatusBadRequest, err.Error())
 	case errors.As(err, &full):
 		secs := int(full.RetryAfter.Seconds())
 		if secs < 1 {
@@ -559,6 +792,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE asamap_cache_coalesced_total counter\nasamap_cache_coalesced_total %d\n", cs.Coalesced)
 	fmt.Fprintf(w, "# TYPE asamap_cache_evictions_total counter\nasamap_cache_evictions_total %d\n", cs.Evictions)
 	fmt.Fprintf(w, "# TYPE asamap_registry_graphs gauge\nasamap_registry_graphs %d\n", rs.Graphs)
+	fmt.Fprintf(w, "# TYPE asamap_registry_versions gauge\nasamap_registry_versions %d\n", rs.Versions)
+	fmt.Fprintf(w, "# TYPE asamap_registry_delta_applies_total counter\nasamap_registry_delta_applies_total %d\n", rs.DeltaApplies)
 	fmt.Fprintf(w, "# TYPE asamap_registry_parses_total counter\nasamap_registry_parses_total %d\n", rs.Parses)
 	fmt.Fprintf(w, "# TYPE asamap_registry_raw_hits_total counter\nasamap_registry_raw_hits_total %d\n", rs.RawHits)
 	fmt.Fprintf(w, "# TYPE asamap_runs_total counter\nasamap_runs_total %d\n", s.runs.Load())

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"github.com/asamap/asamap/internal/graph"
+)
+
+// ErrUnknownParent reports a delta upload whose parent hash names neither a
+// registered base graph nor an existing version.
+var ErrUnknownParent = errors.New("serve: unknown parent graph or version")
+
+// VersionInfo describes a graph version produced by applying a delta batch to
+// a parent. ID is the chained delta hash (hex of graph.Delta.Hash over the
+// parent's digest), so a version's name commits to the entire edit history
+// back to its base graph: same base + same ordered deltas in, same id out,
+// on every replica that replays the chain.
+type VersionInfo struct {
+	ID       string `json:"id"`
+	Parent   string `json:"parent"` // immediate parent: a version id or the base hash
+	Base     string `json:"base"`   // canonical hash of the root graph of the lineage
+	Depth    int    `json:"depth"`  // number of deltas between base and this version
+	Ops      int    `json:"ops"`    // delta operations in this step
+	Vertices int    `json:"vertices"`
+	Arcs     int    `json:"arcs"`
+	Edges    int    `json:"edges"`
+	Directed bool   `json:"directed"`
+	Reused   bool   `json:"reused,omitempty"`
+}
+
+// versionEntry pairs the materialized graph of a version with its lineage
+// metadata, the raw delta text (served to replicating peers byte-for-byte),
+// and the touched vertex set that seeds warm-start frontiers.
+type versionEntry struct {
+	g       *graph.Graph
+	info    VersionInfo
+	delta   []byte
+	touched []uint32
+}
+
+// AddVersion parses the delta text, applies it to the parent graph (a base
+// canonical hash or an existing version id), and registers the result under
+// its chained delta hash. Identical (parent, delta) pairs deduplicate by
+// construction — the id is a pure function of both — and concurrent identical
+// uploads are single-flighted so the delta is applied exactly once.
+func (r *Registry) AddVersion(parent string, deltaText []byte) (VersionInfo, error) {
+	pg, pinfo, ok := r.resolveParent(parent)
+	if !ok {
+		return VersionInfo{}, ErrUnknownParent
+	}
+	d, err := graph.ReadDeltaList(bytes.NewReader(deltaText))
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return VersionInfo{}, err
+	}
+	parentSum, err := hex.DecodeString(parent)
+	if err != nil || len(parentSum) != 32 {
+		return VersionInfo{}, fmt.Errorf("serve: parent id %q is not a hex digest", parent)
+	}
+	var sum [32]byte
+	copy(sum[:], parentSum)
+	id := hex.EncodeToString(func() []byte { h := d.Hash(sum); return h[:] }())
+
+	r.mu.RLock()
+	_, exists := r.versions[id]
+	r.mu.RUnlock()
+	if exists {
+		r.versionHits.Add(1)
+		info, _ := r.Version(id)
+		info.Reused = true
+		return info, nil
+	}
+
+	var dedup bool
+	_, shared, err := r.flight.Do("ver:"+id, func() ([]byte, error) {
+		r.mu.RLock()
+		_, exists := r.versions[id]
+		r.mu.RUnlock()
+		if exists {
+			r.versionHits.Add(1)
+			dedup = true
+			return []byte(id), nil
+		}
+		g, err := d.Apply(pg)
+		if err != nil {
+			return nil, err
+		}
+		r.deltaApplies.Add(1)
+		entry := &versionEntry{
+			g: g,
+			info: VersionInfo{
+				ID:       id,
+				Parent:   parent,
+				Base:     pinfo.Base,
+				Depth:    pinfo.Depth + 1,
+				Ops:      len(d.Ops),
+				Vertices: g.N(),
+				Arcs:     g.M(),
+				Edges:    g.NumEdges(),
+				Directed: g.Directed(),
+			},
+			delta:   append([]byte(nil), deltaText...),
+			touched: d.Touched(),
+		}
+		r.mu.Lock()
+		if _, exists := r.versions[id]; !exists {
+			r.versions[id] = entry
+		}
+		r.mu.Unlock()
+		return []byte(id), nil
+	})
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	info, ok := r.Version(id)
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("serve: version entry for %s vanished", id)
+	}
+	info.Reused = shared || dedup
+	return info, nil
+}
+
+// resolveParent finds the parent of a delta upload: a base graph keeps Base =
+// its own hash at Depth 0, a version contributes its recorded lineage.
+func (r *Registry) resolveParent(id string) (*graph.Graph, VersionInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.byCanonical[id]; ok {
+		return e.g, VersionInfo{ID: id, Base: id, Depth: 0}, true
+	}
+	if v, ok := r.versions[id]; ok {
+		return v.g, v.info, true
+	}
+	return nil, VersionInfo{}, false
+}
+
+// Resolve returns the graph registered under id, whether id names a base
+// canonical graph or a delta version. Detection treats both uniformly: a
+// version is just another immutable graph with a content-derived name.
+func (r *Registry) Resolve(id string) (*graph.Graph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.byCanonical[id]; ok {
+		return e.g, true
+	}
+	if v, ok := r.versions[id]; ok {
+		return v.g, true
+	}
+	return nil, false
+}
+
+// Version returns the lineage metadata of a version id.
+func (r *Registry) Version(id string) (VersionInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.versions[id]
+	if !ok {
+		return VersionInfo{}, false
+	}
+	return v.info, true
+}
+
+// VersionGraph returns the materialized graph and touched vertex set of a
+// version — the warm-start inputs: the touched set seeds the k-hop frontier.
+func (r *Registry) VersionGraph(id string) (*graph.Graph, []uint32, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.versions[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return v.g, v.touched, true
+}
+
+// VersionDelta returns the exact delta bytes that produced a version and its
+// parent id — the replication transfer format: a peer that applies these
+// bytes to the same parent derives the same version id.
+func (r *Registry) VersionDelta(id string) ([]byte, VersionInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.versions[id]
+	if !ok {
+		return nil, VersionInfo{}, false
+	}
+	return v.delta, v.info, true
+}
+
+// Lineage returns the version chain from the base graph to id, inclusive:
+// [base, v1, ..., id]. A base canonical hash yields a one-element lineage.
+// Warm-start detection walks this chain forward, seeding each step from its
+// parent's partition.
+func (r *Registry) Lineage(id string) ([]string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.byCanonical[id]; ok {
+		return []string{id}, true
+	}
+	v, ok := r.versions[id]
+	if !ok {
+		return nil, false
+	}
+	chain := make([]string, 0, v.info.Depth+1)
+	for {
+		chain = append(chain, v.info.ID)
+		parent := v.info.Parent
+		if pv, ok := r.versions[parent]; ok {
+			v = pv
+			continue
+		}
+		if _, ok := r.byCanonical[parent]; !ok {
+			return nil, false // dangling parent: registry invariant violated
+		}
+		chain = append(chain, parent)
+		break
+	}
+	// Reverse into base-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, true
+}
