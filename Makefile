@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race fuzz-smoke bench-smoke bench-accum chaos-smoke delta-replay all
+.PHONY: build test lint lint-json race fuzz-smoke bench-smoke bench-accum chaos-smoke delta-replay all
 
 all: build lint test
 
@@ -16,6 +16,13 @@ lint:
 	$(GO) run ./cmd/asalint ./...
 	$(GO) vet ./...
 
+# lint-json writes the canonical machine-readable findings document
+# (asalint.json: sorted, module-relative paths, no timestamps — identical
+# bytes across runs over identical sources). The file is written even when
+# findings fail the target, so CI can always upload it as an artifact.
+lint-json:
+	$(GO) run ./cmd/asalint -format json ./... > asalint.json
+
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/serve
@@ -24,7 +31,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
 
 bench-smoke:
-	$(GO) test -run=NONE -bench=Sched -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='Sched|AsalintRepo' -benchtime=1x ./...
 
 # bench-accum regenerates the accumulator backend sweep at quick scale and
 # verifies the committed BENCH_accum.json still matches the schema and the

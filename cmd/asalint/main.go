@@ -5,11 +5,19 @@
 //
 //	go run ./cmd/asalint ./...
 //	go run ./cmd/asalint ./internal/infomap ./internal/serve
+//	go run ./cmd/asalint -format json ./... > findings.json
 //
-// Diagnostics print as file:line:col: analyzer: message, and the exit code
-// is 1 when any were produced — so the command composes with CI the same
-// way go vet does. `-v` additionally surfaces type-check problems the
-// loader tolerated.
+// All packages load through one loader into one shared call graph, so the
+// interprocedural analyzers (hotalloc, lockorder, ctxflow, goexit) see
+// cross-package edges. Diagnostics print as file:line:col: analyzer: message
+// (or as a JSON/SARIF document with -format), and the exit code is 1 when
+// any were produced — so the command composes with CI the same way go vet
+// does. `-v` additionally surfaces type-check problems the loader tolerated.
+//
+// The JSON and SARIF documents are canonical: findings sorted by position,
+// module-root-relative slash paths, no timestamps — byte-identical across
+// runs over identical sources, matching the repository's canonical-output
+// discipline, so CI can diff uploaded artifacts between commits.
 //
 // Vet-tool use (best-effort): `go vet -vettool=$(which asalint) ./...`
 // invokes the binary once per package with a JSON config file; asalint
@@ -21,24 +29,27 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/asamap/asamap/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("asalint", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "also print tolerated type-check errors")
 	version := fs.String("V", "", "version handshake for go vet -vettool (use -V=full)")
 	list := fs.Bool("list", false, "print the analyzer names and docs, then exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: asalint [-v] packages...\n\npatterns: ./... dir/... or package directories\n\nanalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: asalint [-v] [-format text|json|sarif] packages...\n\npatterns: ./... dir/... or package directories\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -48,14 +59,20 @@ func run(args []string) int {
 	}
 	if *version != "" {
 		// The go command caches vet results keyed on this line.
-		fmt.Printf("asalint version devel buildID=asalint-suite-v1\n")
+		fmt.Fprintf(stdout, "asalint version devel buildID=asalint-suite-v2\n")
 		return 0
 	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "asalint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -81,6 +98,7 @@ func run(args []string) int {
 		return 2
 	}
 	exit := 0
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -93,20 +111,190 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "asalint: typecheck: %v\n", terr)
 			}
 		}
-		diags, err := analysis.Run(pkg, analysis.All(), true)
+		pkgs = append(pkgs, pkg)
+	}
+	// One shared graph across every loaded package: interprocedural analyzers
+	// need cross-package edges (a hot root in internal/infomap reaching an
+	// accumulator in internal/hashtab; lock order spanning serve and cluster).
+	graph := analysis.BuildGraph(pkgs, nil)
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunWithGraph(pkg, graph, analysis.All(), true)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
 			exit = 2
 			continue
 		}
-		for _, d := range diags {
-			fmt.Println(rel(d.String()))
-			if exit == 0 {
-				exit = 1
-			}
+		all = append(all, diags...)
+	}
+	if len(all) > 0 && exit == 0 {
+		exit = 1
+	}
+	// Per-package runs return sorted diagnostics; sort globally so output
+	// order does not depend on package load order.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	root := loader.ModuleRoot
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, root, all); err != nil {
+			fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, root, all); err != nil {
+			fmt.Fprintf(os.Stderr, "asalint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range all {
+			fmt.Fprintln(stdout, rel(d.String()))
 		}
 	}
 	return exit
+}
+
+// relPath renders a diagnostic path module-root-relative with forward
+// slashes — the canonical form used by the machine-readable outputs.
+func relPath(root, path string) string {
+	if root != "" {
+		if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// jsonFinding is one diagnostic in the -format json document.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonDocument is the -format json envelope. No timestamps, no absolute
+// paths: two runs over identical sources must produce identical bytes.
+type jsonDocument struct {
+	Schema   string        `json:"schema"`
+	Tool     string        `json:"tool"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	doc := jsonDocument{
+		Schema:   "asalint-findings/v1",
+		Tool:     "asalint",
+		Findings: []jsonFinding{},
+	}
+	for _, d := range diags {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// writeSARIF emits a minimal SARIF 2.1.0 log: one run, one rule per
+// analyzer, one result per diagnostic, deterministic field order via
+// struct-based marshaling.
+func writeSARIF(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+		Desc struct {
+			Text string `json:"text"`
+		} `json:"shortDescription"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region struct {
+				StartLine   int `json:"startLine"`
+				StartColumn int `json:"startColumn"`
+			} `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifLog struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string      `json:"name"`
+					Rules []sarifRule `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []sarifResult `json:"results"`
+		} `json:"runs"`
+	}
+
+	var log sarifLog
+	log.Schema = "https://json.schemastore.org/sarif-2.1.0.json"
+	log.Version = "2.1.0"
+	log.Runs = make([]struct {
+		Tool struct {
+			Driver struct {
+				Name  string      `json:"name"`
+				Rules []sarifRule `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}, 1)
+	log.Runs[0].Tool.Driver.Name = "asalint"
+	for _, a := range analysis.All() {
+		r := sarifRule{ID: a.Name, Name: a.Name}
+		r.Desc.Text = a.Doc
+		log.Runs[0].Tool.Driver.Rules = append(log.Runs[0].Tool.Driver.Rules, r)
+	}
+	log.Runs[0].Results = []sarifResult{}
+	for _, d := range diags {
+		res := sarifResult{RuleID: d.Analyzer, Level: "error", Message: sarifMessage{Text: d.Message}}
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = relPath(root, d.Pos.Filename)
+		loc.PhysicalLocation.Region.StartLine = d.Pos.Line
+		loc.PhysicalLocation.Region.StartColumn = d.Pos.Column
+		res.Locations = []sarifLocation{loc}
+		log.Runs[0].Results = append(log.Runs[0].Results, res)
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
 }
 
 // rel shortens absolute paths in a diagnostic line to be cwd-relative, which
@@ -123,8 +311,13 @@ func rel(line string) string {
 }
 
 // expandPatterns resolves go-style package patterns to package directories:
-// "./..." walks recursively (skipping testdata, vendor, hidden, and
-// examples' node_modules-like noise), anything else is taken as a directory.
+// "./..." walks recursively, anything else is taken as a directory.
+//
+// The walk deterministically skips testdata/ and fixture trees (vendor,
+// hidden, and underscore-prefixed directories too): analyzer fixtures
+// contain deliberate contract violations and must never be loaded into a
+// repo lint run. filepath.WalkDir visits lexically, so the returned order is
+// stable across runs and platforms.
 func expandPatterns(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var dirs []string
@@ -152,9 +345,7 @@ func expandPatterns(patterns []string) ([]string, error) {
 			if !d.IsDir() {
 				return nil
 			}
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-				name == "testdata" || name == "vendor") {
+			if path != root && skipDir(d.Name()) {
 				return filepath.SkipDir
 			}
 			if hasGoFiles(path) {
@@ -167,6 +358,14 @@ func expandPatterns(patterns []string) ([]string, error) {
 		}
 	}
 	return dirs, nil
+}
+
+// skipDir reports whether a directory subtree is excluded from ./...
+// expansion. testdata holds analyzer fixtures and golden files; vendor,
+// hidden, and underscore-prefixed trees follow the go command's own rules.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "vendor" || name == "node_modules"
 }
 
 // hasGoFiles reports whether dir directly contains a non-test .go file.
@@ -194,6 +393,8 @@ type vetConfig struct {
 // runVetTool handles one `go vet -vettool` invocation: analyze the package
 // whose files are listed in the config, print diagnostics to stderr, exit
 // nonzero when any were found (the go command surfaces stderr verbatim).
+// Interprocedural analyzers see only this package's graph in this mode; the
+// standalone whole-repo run is the authoritative one.
 func runVetTool(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {

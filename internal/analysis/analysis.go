@@ -20,15 +20,24 @@
 //   - fingerprint: infomap.Options fields missing from both Fingerprint and
 //     its explicit exclusion list, which would silently stale the asamapd
 //     result-cache key
+//   - hotalloc:    heap-allocation sites reachable (through the call graph in
+//     internal/analysis/callgraph) from //asalint:hotroot hot-path roots —
+//     the repo-wide steady-state-alloc-free contract
+//   - lockorder:   mutex acquisition-order cycles across the service tier,
+//     locks re-acquired while held, and locks held across blocking operations
+//   - suppress:    //asalint suppression comments with no written
+//     justification
 //
 // A diagnostic can be silenced by a justified suppression comment on the
-// same line or the line directly above:
+// same line or the line directly above; when either line starts a multi-line
+// statement, the suppression covers every line of that statement. Several
+// tags may share one comment, comma-separated:
 //
-//	//asalint:<tag> <why this site is safe>
+//	//asalint:<tag>[,<tag>...] <why this site is safe>
 //
 // where <tag> is the analyzer's suppression tag ("ordered" for detorder,
 // otherwise the analyzer name). Suppressions that silence nothing are
-// themselves reported, so stale justifications cannot accrete.
+// themselves reported per tag, so stale justifications cannot accrete.
 package analysis
 
 import (
@@ -38,11 +47,13 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"github.com/asamap/asamap/internal/analysis/callgraph"
 )
 
 // All returns the full asalint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detorder, Entropy, Ctxflow, Goexit, Fingerprint}
+	return []*Analyzer{Detorder, Entropy, Ctxflow, Goexit, Fingerprint, Hotalloc, Lockorder, Suppress}
 }
 
 // Diagnostic is one analyzer finding at a resolved source position.
@@ -95,6 +106,12 @@ type Pass struct {
 	PkgPath string
 	// PkgName is the package name from the package clause.
 	PkgName string
+	// Graph is the call graph over every package of this run. In the
+	// multichecker it spans the whole repository, so interprocedural
+	// analyzers see cross-package edges; under analysistest it covers just
+	// the fixture package. Analyzers must report only at positions inside
+	// this pass's package — the driver runs them once per package.
+	Graph *callgraph.Graph
 
 	supp  *suppressions
 	diags *[]Diagnostic
@@ -123,12 +140,47 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// UnitOf adapts a loaded package to a call-graph unit. Units handed to one
+// callgraph.Build must come from one loader, so object identities line up
+// across packages.
+func UnitOf(pkg *Package) *callgraph.Unit {
+	return &callgraph.Unit{
+		Path:  pkg.Path,
+		Name:  pkg.Name,
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Info:  pkg.Info,
+		Pkg:   pkg.Types,
+	}
+}
+
+// BuildGraph builds the shared call graph over pkgs (all loaded by one
+// loader). cache may be nil; a reused cache skips re-summarizing functions
+// whose bodies are unchanged since the previous build.
+func BuildGraph(pkgs []*Package, cache *callgraph.Cache) *callgraph.Graph {
+	units := make([]*callgraph.Unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, UnitOf(pkg))
+	}
+	return callgraph.Build(units, cache)
+}
+
 // Run executes analyzers over pkg, applying suppression comments and
 // reporting unused suppressions, and returns the diagnostics sorted by
 // position. When respectScope is true, analyzers whose AppliesTo rejects the
 // package path are skipped (the multichecker); analysistest passes false so
 // fixtures always exercise the analyzer under test.
+//
+// The call graph is built over pkg alone; drivers that load several packages
+// should build one shared graph and use RunWithGraph so interprocedural
+// analyzers see cross-package edges.
 func Run(pkg *Package, analyzers []*Analyzer, respectScope bool) ([]Diagnostic, error) {
+	return RunWithGraph(pkg, BuildGraph([]*Package{pkg}, nil), analyzers, respectScope)
+}
+
+// RunWithGraph is Run with an externally built (usually multi-package) call
+// graph.
+func RunWithGraph(pkg *Package, graph *callgraph.Graph, analyzers []*Analyzer, respectScope bool) ([]Diagnostic, error) {
 	supp := collectSuppressions(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	ran := map[string]bool{}
@@ -145,6 +197,7 @@ func Run(pkg *Package, analyzers []*Analyzer, respectScope bool) ([]Diagnostic, 
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
 			PkgName:  pkg.Name,
+			Graph:    graph,
 			supp:     supp,
 			diags:    &diags,
 		}

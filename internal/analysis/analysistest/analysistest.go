@@ -28,6 +28,14 @@ import (
 // diagnostics against the fixture's want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunAnalyzers(t, testdata, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunAnalyzers is Run with several analyzers over the same fixtures — the
+// shape needed to fixture-test cross-analyzer suppression behavior, such as
+// per-tag unused reporting on one shared comment.
+func RunAnalyzers(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
 		t.Run(pkg, func(t *testing.T) {
@@ -45,9 +53,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			// scope predicates (which treat slash-free paths as fixtures)
 			// working even though testdata sits inside the module tree.
 			loaded.Path = filepath.Base(dir)
-			diags, err := analysis.Run(loaded, []*analysis.Analyzer{a}, false)
+			diags, err := analysis.Run(loaded, analyzers, false)
 			if err != nil {
-				t.Fatalf("run %s: %v", a.Name, err)
+				t.Fatalf("run: %v", err)
 			}
 			checkWants(t, loaded, diags)
 		})

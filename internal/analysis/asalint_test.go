@@ -29,10 +29,34 @@ func TestFingerprint(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Fingerprint, "fingerprint")
 }
 
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hotalloc, "hotalloc")
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockorder, "lockorder")
+}
+
 // TestSuppressionContract proves //asalint:ordered silences exactly one
 // line and is reported when it silences nothing (the fixture encodes both).
 func TestSuppressionContract(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Detorder, "suppress")
+}
+
+// TestSuppressionMultiTagAndExtent proves the two suppression edge cases
+// introduced with the interprocedural suite: a comma-shared comment reports
+// its unused tags individually, and a suppression above a multi-line
+// statement covers every line of that statement but not the next one.
+func TestSuppressionMultiTagAndExtent(t *testing.T) {
+	analysistest.RunAnalyzers(t, "testdata",
+		[]*analysis.Analyzer{analysis.Detorder, analysis.Hotalloc}, "supmulti")
+}
+
+// TestSuppressJustification pins the suppress analyzer: every suppression
+// comment must say why the silenced site is safe.
+func TestSuppressJustification(t *testing.T) {
+	analysistest.RunAnalyzers(t, "testdata",
+		[]*analysis.Analyzer{analysis.Detorder, analysis.Suppress}, "supjustify")
 }
 
 // TestLoaderResolvesModuleImports loads a repository package whose files

@@ -1,0 +1,236 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"github.com/asamap/asamap/internal/analysis/callgraph"
+)
+
+// buildUnit parses and type-checks files (name -> source) into one Unit with
+// its own FileSet, mirroring what the analysis loader produces.
+func buildUnit(t *testing.T, files map[string]string) *callgraph.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var asts []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fix", fset, asts, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &callgraph.Unit{Path: "fix", Name: "fix", Fset: fset, Files: asts, Info: info, Pkg: pkg}
+}
+
+func build(t *testing.T, files map[string]string) *callgraph.Graph {
+	t.Helper()
+	return callgraph.Build([]*callgraph.Unit{buildUnit(t, files)}, nil)
+}
+
+// edgeIDs renders node's outgoing edges as "kind:calleeID", sorted.
+func edgeIDs(n *callgraph.Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		if e.Callee != nil {
+			out = append(out, e.Kind.String()+":"+e.Callee.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantEdges(t *testing.T, n *callgraph.Node, want ...string) {
+	t.Helper()
+	if n == nil {
+		t.Fatal("node not found")
+	}
+	got := edgeIDs(n)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("edges of %s = %v, want %v", n.ID, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges of %s = %v, want %v", n.ID, got, want)
+		}
+	}
+}
+
+func TestCrossFileStaticCall(t *testing.T) {
+	g := build(t, map[string]string{
+		"a.go": "package fix\n\nfunc A() { B() }\n",
+		"b.go": "package fix\n\nfunc B() {}\n",
+	})
+	wantEdges(t, g.NodeByID("fix.A"), "static:fix.B")
+}
+
+func TestInterfaceDispatchFanOut(t *testing.T) {
+	g := build(t, map[string]string{"a.go": `package fix
+
+type runner interface{ Run() }
+
+type fast struct{}
+
+func (fast) Run() {}
+
+type slow struct{}
+
+func (*slow) Run() {}
+
+type other struct{}
+
+func (other) Stop() {}
+
+func drive(r runner) { r.Run() }
+`})
+	// Both concrete implementations are conservative fan-out targets; other
+	// has no Run method and is excluded.
+	wantEdges(t, g.NodeByID("fix.drive"), "dispatch:fix.fast.Run", "dispatch:fix.(*slow).Run")
+}
+
+func TestMethodValueRef(t *testing.T) {
+	g := build(t, map[string]string{"a.go": `package fix
+
+type fast struct{}
+
+func (fast) Run() {}
+
+func helper() {}
+
+func pick(f fast) (func(), func()) {
+	return f.Run, helper
+}
+`})
+	// Referencing a method or function as a value is a Ref edge: whoever
+	// receives the value may call it.
+	wantEdges(t, g.NodeByID("fix.pick"), "ref:fix.fast.Run", "ref:fix.helper")
+}
+
+func TestRecursionAndReachability(t *testing.T) {
+	g := build(t, map[string]string{"a.go": `package fix
+
+import "sync"
+
+type guarded struct{ mu sync.Mutex }
+
+func (g *guarded) a() { g.mu.Lock(); g.b(); g.mu.Unlock() }
+
+func (g *guarded) b() { g.a() }
+
+func loop() { loop() }
+
+func apart() {}
+`})
+	a := g.NodeByID("fix.(*guarded).a")
+	b := g.NodeByID("fix.(*guarded).b")
+	if a == nil || b == nil {
+		t.Fatal("mutual-recursion nodes missing")
+	}
+	via := g.Reachable([]*callgraph.Node{a}, nil)
+	if via[a] != a || via[b] != a {
+		t.Fatalf("Reachable(a) = %v, want a and b mapped to a", via)
+	}
+	if _, ok := via[g.NodeByID("fix.apart")]; ok {
+		t.Fatal("Reachable(a) reached an unconnected function")
+	}
+	// The memoized transitive queries must terminate through the cycle and
+	// still surface a's lock from b.
+	locks := g.TransitiveLocks(b)
+	if len(locks) == 0 || locks[0].Lock != "fix.guarded.mu" {
+		t.Fatalf("TransitiveLocks(b) = %v, want fix.guarded.mu", locks)
+	}
+	self := g.NodeByID("fix.loop")
+	via = g.Reachable([]*callgraph.Node{self}, nil)
+	if len(via) != 1 || via[self] != self {
+		t.Fatalf("Reachable(loop) = %v, want just loop", via)
+	}
+}
+
+func TestClosureNodesAndEdges(t *testing.T) {
+	g := build(t, map[string]string{"a.go": `package fix
+
+func inner() {}
+
+func outer() {
+	f := func() { inner() }
+	g := func() {}
+	f()
+	g()
+}
+`})
+	// Literals are numbered in source order against the declared parent.
+	wantEdges(t, g.NodeByID("fix.outer"), "closure:fix.outer$0", "closure:fix.outer$1")
+	wantEdges(t, g.NodeByID("fix.outer$0"), "static:fix.inner")
+	wantEdges(t, g.NodeByID("fix.outer$1"))
+}
+
+// TestSummaryCacheInvalidation proves the cache key (node ID + structural
+// body hash) shares summaries across builds and invalidates exactly the
+// edited function.
+func TestSummaryCacheInvalidation(t *testing.T) {
+	v1 := map[string]string{"a.go": `package fix
+
+func A() { B() }
+
+func B() { _ = make([]int, 4) }
+`}
+	v2 := map[string]string{"a.go": `package fix
+
+func A() { B() }
+
+func B() { _ = make([]int, 8) }
+`}
+	cache := callgraph.NewCache()
+	summarizeAll := func(g *callgraph.Graph) {
+		for _, n := range g.Nodes() {
+			g.Summary(n)
+		}
+	}
+
+	g1 := callgraph.Build([]*callgraph.Unit{buildUnit(t, v1)}, cache)
+	summarizeAll(g1)
+	if cache.Hits != 0 || cache.Misses != 2 {
+		t.Fatalf("after first build: hits=%d misses=%d, want 0/2", cache.Hits, cache.Misses)
+	}
+
+	// Identical sources, fresh parse: every summary is recalled.
+	g2 := callgraph.Build([]*callgraph.Unit{buildUnit(t, v1)}, cache)
+	summarizeAll(g2)
+	if cache.Hits != 2 || cache.Misses != 2 {
+		t.Fatalf("after identical rebuild: hits=%d misses=%d, want 2/2", cache.Hits, cache.Misses)
+	}
+
+	// One edited body: only B is re-summarized.
+	g3 := callgraph.Build([]*callgraph.Unit{buildUnit(t, v2)}, cache)
+	summarizeAll(g3)
+	if cache.Hits != 3 || cache.Misses != 3 {
+		t.Fatalf("after edit to B: hits=%d misses=%d, want 3/3", cache.Hits, cache.Misses)
+	}
+	if allocs := g3.Summary(g3.NodeByID("fix.B")).Allocs; len(allocs) != 1 || allocs[0].Desc != "make([]int, 8)" {
+		t.Fatalf("edited B summary = %+v, want the new make", allocs)
+	}
+}

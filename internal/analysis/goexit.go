@@ -2,28 +2,36 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
 // Goexit bans fire-and-forget goroutines in internal packages: every `go`
-// statement must be tied to a sync.WaitGroup, an errgroup.Group, or the
-// sched pool within the same enclosing function, so that no goroutine can
-// outlive the call that spawned it. Untracked goroutines are how parallel
-// community-detection codebases leak workers past cancellation — the
-// scheduler and queue shutdown tests only stay meaningful while this
-// invariant holds everywhere.
+// statement must be tied to a join protocol visible from the enclosing
+// function, so that no goroutine can outlive the call that spawned it.
+// Untracked goroutines are how parallel community-detection codebases leak
+// workers past cancellation — the scheduler and queue shutdown tests only
+// stay meaningful while this invariant holds everywhere.
 //
 // Evidence accepted within the enclosing function declaration:
 //   - a WaitGroup Add/Done/Wait call (typed as sync.WaitGroup, or on a
 //     receiver/field whose printed type mentions WaitGroup)
 //   - an errgroup.Group Go/Wait call
+//   - a sched.Pool Dispatch/DispatchTraced/Close call — the pool joins its
+//     workers on Close, so dispatching through it is structured concurrency
+//   - a *sync.WaitGroup or errgroup parameter: the caller owns the join and
+//     this function spawns on its behalf
+//   - a WaitGroup/errgroup value passed to a callee: the join protocol was
+//     handed down, the callee's Add/Done/Wait participates in it
 //
-// A goroutine that is genuinely structural (e.g. a daemon owned by a struct
-// whose Close joins it in another method) carries //asalint:goexit with the
-// name of the joining method as justification.
+// The last three let join evidence live across the caller/callee boundary,
+// which is why the non-context Run wrappers and pool helpers need no
+// suppressions. A goroutine that is genuinely structural (e.g. a daemon
+// owned by a struct whose Close joins it in another method) carries
+// //asalint:goexit with the name of the joining method as justification.
 var Goexit = &Analyzer{
 	Name: "goexit",
-	Doc:  "require every go statement to be joined via WaitGroup/errgroup in the same function",
+	Doc:  "require every go statement to be joined via WaitGroup/errgroup/sched.Pool evidence visible from the same function",
 	// Internal packages only, per the contract; package main owns the
 	// process lifetime and may detach (e.g. signal handlers).
 	AppliesTo: func(pkgPath string) bool {
@@ -49,12 +57,12 @@ func runGoexit(pass *Pass) error {
 			if len(gos) == 0 {
 				continue
 			}
-			if functionJoinsGoroutines(pass, fd) {
+			if functionJoinsGoroutines(pass, fd) || hasJoinerParam(pass, fd) || handsJoinerToCallee(pass, fd) {
 				continue
 			}
 			for _, g := range gos {
-				pass.Reportf(g.Pos(), "go statement in %s is not tied to a sync.WaitGroup or errgroup "+
-					"in the same function; a fire-and-forget goroutine outlives cancellation "+
+				pass.Reportf(g.Pos(), "go statement in %s is not tied to a sync.WaitGroup, errgroup, or "+
+					"sched.Pool in the same function; a fire-and-forget goroutine outlives cancellation "+
 					"(justify structural daemons with //asalint:goexit)", fd.Name.Name)
 			}
 		}
@@ -65,6 +73,10 @@ func runGoexit(pass *Pass) error {
 // joinMethods are method names that constitute lifecycle evidence when
 // invoked on a WaitGroup or errgroup value.
 var joinMethods = map[string]bool{"Add": true, "Done": true, "Wait": true, "Go": true}
+
+// poolJoinMethods constitute the same evidence on a sched.Pool: the pool
+// owns worker lifetime and Close joins them.
+var poolJoinMethods = map[string]bool{"Dispatch": true, "DispatchTraced": true, "Close": true, "Wait": true}
 
 // functionJoinsGoroutines reports whether fd contains a join-protocol call.
 func functionJoinsGoroutines(pass *Pass, fd *ast.FuncDecl) bool {
@@ -78,10 +90,14 @@ func functionJoinsGoroutines(pass *Pass, fd *ast.FuncDecl) bool {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !joinMethods[sel.Sel.Name] {
+		if !ok {
 			return true
 		}
-		if isJoinerType(pass, sel.X) {
+		if joinMethods[sel.Sel.Name] && isJoinerType(pass, sel.X) {
+			found = true
+			return false
+		}
+		if poolJoinMethods[sel.Sel.Name] && isPoolType(pass, sel.X) {
 			found = true
 			return false
 		}
@@ -90,18 +106,64 @@ func functionJoinsGoroutines(pass *Pass, fd *ast.FuncDecl) bool {
 	return found
 }
 
+// hasJoinerParam reports whether fd accepts a WaitGroup/errgroup parameter —
+// the caller owns the join protocol this function spawns under.
+func hasJoinerParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil {
+			if isJoinerTypeName(t.String()) {
+				return true
+			}
+			continue
+		}
+		if isJoinerTypeName(types.ExprString(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// handsJoinerToCallee reports whether fd passes a WaitGroup/errgroup value
+// as a call argument, delegating part of the join protocol.
+func handsJoinerToCallee(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if t := pass.TypeOf(arg); t != nil && isJoinerTypeName(t.String()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isJoinerTypeName(s string) bool {
+	return strings.Contains(s, "sync.WaitGroup") || strings.Contains(s, "errgroup.Group")
+}
+
 // isJoinerType reports whether e is (or points to / embeds) a
 // sync.WaitGroup or errgroup.Group. When type information is missing, the
 // receiver's spelling is consulted: identifiers and selectors whose final
 // component mentions "wg", "waitgroup", "eg", or "group" are accepted.
 func isJoinerType(pass *Pass, e ast.Expr) bool {
 	if t := pass.TypeOf(e); t != nil {
-		s := t.String()
-		if strings.Contains(s, "sync.WaitGroup") || strings.Contains(s, "errgroup.Group") {
+		if isJoinerTypeName(t.String()) {
 			return true
 		}
-		// Typed but something else entirely (e.g. testing.T's Done? no such
-		// method — but a queue's Add): not join evidence.
+		// Typed but something else entirely (e.g. a queue's Add): not join
+		// evidence.
 		return false
 	}
 	name := ""
@@ -116,4 +178,22 @@ func isJoinerType(pass *Pass, e ast.Expr) bool {
 	lower := strings.ToLower(name)
 	return strings.Contains(lower, "wg") || strings.Contains(lower, "waitgroup") ||
 		lower == "eg" || strings.Contains(lower, "group")
+}
+
+// isPoolType reports whether e is a sched.Pool (by type, or by spelling when
+// untyped).
+func isPoolType(pass *Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); t != nil {
+		return strings.Contains(t.String(), "sched.Pool")
+	}
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "pool")
 }

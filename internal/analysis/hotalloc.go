@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+
+	"github.com/asamap/asamap/internal/analysis/callgraph"
+)
+
+// Hotalloc turns the single hashgraph AllocsPerRun pin into a repo-wide
+// contract: no heap allocation on a declared hot path. Functions carrying a
+// //asalint:hotroot directive (on the line above a func declaration, or
+// above the statement defining a function literal) are roots; every function
+// reachable from a root through the call graph — static calls, conservative
+// interface fan-out, closures, and function values — is on the hot path, and
+// any steady-state allocation site inside it is reported:
+//
+//   - make / new
+//   - map and slice composite literals, &T{...}
+//   - append whose result does not feed back into its first argument
+//     (x = append(x, ...) is amortized growth into a retained buffer and is
+//     exempt)
+//   - function literals capturing enclosing variables (escaping closures)
+//   - fmt formatting calls and concrete values boxed into any parameters
+//   - string <-> []byte/[]rune conversions
+//
+// Cold paths are exempt: branches whose condition consults cap() (amortized
+// buffer growth), compares an error to nil, or calls recover() are the
+// grow/failure paths every alloc-free loop must keep — the contract is about
+// the steady state, exactly as the hashgraph AllocsPerRun test measures it.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap-allocation sites reachable from //asalint:hotroot hot-path roots",
+	// The hot scope: kernel and accumulator packages where hot roots and
+	// their callees live. Traversal never leaves this set, so service-tier
+	// helpers called from kernels (loggers, tracers) are out of contract.
+	AppliesTo: hotallocScope,
+	Run:       runHotalloc,
+}
+
+var hotallocScope = PathIn(
+	"internal/infomap", "internal/mapeq", "internal/accum", "internal/asa",
+	"internal/hashtab", "internal/hashgraph", "internal/sched",
+	"internal/spgemm", "internal/graph",
+)
+
+func runHotalloc(pass *Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	roots := hotRoots(g)
+	if len(roots) == 0 {
+		return nil
+	}
+	within := func(n *callgraph.Node) bool { return hotallocScope(n.PkgPath) }
+	via := g.Reachable(roots, within)
+	// A site can surface through several summary facts (e.g. a funclit both
+	// boxed into an any parameter and captured); report each position once.
+	type siteKey struct {
+		pos token.Pos
+		msg string
+	}
+	seen := make(map[siteKey]bool)
+	for _, n := range g.Nodes() {
+		root, ok := via[n]
+		if !ok || n.PkgPath != pass.PkgPath {
+			continue
+		}
+		for _, a := range g.Summary(n).Allocs {
+			if a.Cold {
+				continue
+			}
+			var msg string
+			if root == n {
+				msg = a.Kind.String() + " on hot path: " + a.Desc + " (inside hot root " + n.ID + ")"
+			} else {
+				msg = a.Kind.String() + " on hot path: " + a.Desc + " (reachable from hot root " + root.ID + ")"
+			}
+			if k := (siteKey{a.Pos, msg}); !seen[k] {
+				seen[k] = true
+				pass.Reportf(a.Pos, "%s", msg)
+			}
+		}
+	}
+	return nil
+}
+
+// hotRoots collects the nodes marked by //asalint:hotroot directives across
+// every unit of the graph (roots in other packages still pull this package's
+// functions onto the hot path).
+func hotRoots(g *callgraph.Graph) []*callgraph.Node {
+	directives := make(map[string]map[int]bool) // filename -> line
+	for _, u := range g.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//asalint:hotroot") {
+						continue
+					}
+					p := g.Fset.Position(c.Pos())
+					lines := directives[p.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						directives[p.Filename] = lines
+					}
+					lines[p.Line] = true
+				}
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return nil
+	}
+	var roots []*callgraph.Node
+	for _, n := range g.Nodes() {
+		if n.Pos() == token.NoPos {
+			continue
+		}
+		p := g.Fset.Position(n.Pos())
+		lines := directives[p.Filename]
+		if lines == nil {
+			continue
+		}
+		// The directive sits directly above the declaration (the last line of
+		// a doc comment) or, for literals, above the statement that defines
+		// them; a trailing directive on the declaration line also counts.
+		if lines[p.Line-1] || lines[p.Line] {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

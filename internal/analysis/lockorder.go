@@ -1,0 +1,529 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/asamap/asamap/internal/analysis/callgraph"
+)
+
+// Lockorder guards the service tier's mutex discipline across function and
+// package boundaries. Walking every in-scope function with a branch-aware
+// held-lock set (lock identities come from the call-graph summaries:
+// "serve.Queue.mu" is the same lock in every function that touches it), it
+// reports:
+//
+//   - acquisition-order cycles: if any code path acquires B while holding A
+//     and any other path acquires A while holding B, two goroutines can
+//     deadlock. Acquisitions through callees count — holding A while calling
+//     a function that transitively locks B is an A→B edge.
+//   - a lock re-acquired while already held (sync.Mutex self-deadlocks)
+//   - locks held across blocking operations: channel sends/receives,
+//     blocking selects, WaitGroup waits, time.Sleep, HTTP round trips, and
+//     calls into in-scope functions that transitively block.
+//
+// The walk clones the held set per branch and discards the effects of
+// terminating branches, so the idiomatic early-unlock-and-return shape
+// (`if q.closed { q.mu.Unlock(); return }`) does not poison the fallthrough
+// path. A deferred Unlock is sticky: the lock stays held to the end of the
+// function, which is exactly the window other goroutines observe.
+var Lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "detect mutex acquisition-order cycles and locks held across blocking operations in the service tier",
+	AppliesTo: lockorderScope,
+	Run:       runLockorder,
+}
+
+var lockorderScope = PathIn("internal/serve", "internal/serve/cluster", "internal/dist")
+
+// lockEdge is one observed acquisition order: "to" was acquired at site while
+// "from" was held, inside node.
+type lockEdge struct {
+	from, to string
+	site     token.Pos
+	node     *callgraph.Node
+}
+
+// loFinding is a non-cycle diagnostic produced during the walk.
+type loFinding struct {
+	pos  token.Pos
+	node *callgraph.Node
+	msg  string
+}
+
+func runLockorder(pass *Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	var edges []lockEdge
+	var findings []loFinding
+	for _, n := range g.Nodes() {
+		if !lockorderScope(n.PkgPath) || n.Body() == nil {
+			continue
+		}
+		w := newLockWalker(g, n, &edges, &findings)
+		w.walkStmts(n.Body().List, map[string]heldLock{})
+	}
+	// Non-cycle findings of this package.
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.node.PkgPath != pass.PkgPath {
+			continue
+		}
+		key := fmt.Sprintf("%d\x00%s", f.pos, f.msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	// Order cycles over the global edge set.
+	reportCycles(pass, edges)
+	return nil
+}
+
+// reportCycles finds strongly connected components of the lock-order digraph
+// and reports, at each contributing site in the current package, every edge
+// inside a multi-node SCC.
+func reportCycles(pass *Pass, edges []lockEdge) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			continue // re-acquisition is reported separately
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	comp := sccOf(adj)
+	compSize := map[int]int{}
+	for _, c := range comp {
+		compSize[c]++
+	}
+	seen := map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to || e.node.PkgPath != pass.PkgPath {
+			continue
+		}
+		cf, okf := comp[e.from]
+		ct, okt := comp[e.to]
+		if !okf || !okt || cf != ct || compSize[cf] < 2 {
+			continue
+		}
+		var members []string
+		for lock, c := range comp {
+			if c == cf {
+				members = append(members, lock)
+			}
+		}
+		sort.Strings(members)
+		key := fmt.Sprintf("%d\x00%s\x00%s", e.site, e.from, e.to)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pass.Reportf(e.site, "lock order cycle: %s acquired while %s is held, but another path acquires them in the reverse order (cycle through %s)",
+			e.to, e.from, strings.Join(members, ", "))
+	}
+}
+
+// sccOf assigns a component ID to every vertex of adj (iterative Tarjan).
+func sccOf(adj map[string]map[string]bool) map[string]int {
+	verts := map[string]bool{}
+	for v, outs := range adj {
+		verts[v] = true
+		for w := range outs {
+			verts[w] = true
+		}
+	}
+	order := make([]string, 0, len(verts))
+	for v := range verts {
+		order = append(order, v)
+	}
+	sort.Strings(order)
+	sortedAdj := map[string][]string{}
+	for v, outs := range adj {
+		for w := range outs {
+			sortedAdj[v] = append(sortedAdj[v], w)
+		}
+		sort.Strings(sortedAdj[v])
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, nComp := 0, 0
+
+	type frame struct {
+		v string
+		i int
+	}
+	for _, root := range order {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			outs := sortedAdj[f.v]
+			if f.i < len(outs) {
+				w := outs[f.i]
+				f.i++
+				if _, ok := index[w]; !ok {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == f.v {
+						break
+					}
+				}
+				nComp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// heldLock records how a currently held lock was acquired.
+type heldLock struct {
+	site token.Pos
+	op   string // Lock or RLock
+}
+
+// lockWalker tracks the held-lock set through one function body.
+type lockWalker struct {
+	g        *callgraph.Graph
+	n        *callgraph.Node
+	lockAt   map[token.Pos]callgraph.LockOp
+	blockAt  map[token.Pos]callgraph.BlockOp
+	edgesAt  map[token.Pos][]callgraph.Edge
+	edges    *[]lockEdge
+	findings *[]loFinding
+}
+
+func newLockWalker(g *callgraph.Graph, n *callgraph.Node, edges *[]lockEdge, findings *[]loFinding) *lockWalker {
+	w := &lockWalker{
+		g: g, n: n,
+		lockAt:   map[token.Pos]callgraph.LockOp{},
+		blockAt:  map[token.Pos]callgraph.BlockOp{},
+		edgesAt:  map[token.Pos][]callgraph.Edge{},
+		edges:    edges,
+		findings: findings,
+	}
+	sum := g.Summary(n)
+	for _, op := range sum.LockOps {
+		w.lockAt[op.Pos] = op
+	}
+	for _, b := range sum.Blocks {
+		w.blockAt[b.Pos] = b
+	}
+	for _, e := range n.Out {
+		w.edgesAt[e.Site] = append(w.edgesAt[e.Site], e)
+	}
+	return w
+}
+
+func (w *lockWalker) report(pos token.Pos, format string, args ...any) {
+	*w.findings = append(*w.findings, loFinding{pos: pos, node: w.n, msg: fmt.Sprintf(format, args...)})
+}
+
+func cloneHeld(held map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(held))
+	for k, v := range held { //asalint:ordered held-set copy; downstream iteration sorts keys
+		out[k] = v
+	}
+	return out
+}
+
+func heldKeys(held map[string]heldLock) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held { //asalint:ordered keys are sorted before they escape
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mergeInto unions src into dst (a lock possibly held on some incoming path
+// is conservatively held).
+func mergeInto(dst, src map[string]heldLock) {
+	for k, v := range src { //asalint:ordered set union is order-independent
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+}
+
+// walkStmts walks a statement list, mutating held, and reports whether the
+// list terminates (return / panic / branch), in which case the caller must
+// discard held's modifications for the fallthrough path.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]heldLock) bool {
+	for _, st := range stmts {
+		if w.walkStmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held map[string]heldLock) bool {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(x.List, held)
+	case *ast.ReturnStmt:
+		w.walkExprNodes(x, held)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, held)
+		}
+		w.walkExprNodes(x.Cond, held)
+		bodyHeld := cloneHeld(held)
+		bTerm := w.walkStmt(x.Body, bodyHeld)
+		elseHeld := cloneHeld(held)
+		eTerm := false
+		if x.Else != nil {
+			eTerm = w.walkStmt(x.Else, elseHeld)
+		}
+		switch {
+		case bTerm && eTerm:
+			return x.Else != nil
+		case bTerm:
+			replaceHeld(held, elseHeld)
+		case eTerm:
+			replaceHeld(held, bodyHeld)
+		default:
+			replaceHeld(held, bodyHeld)
+			mergeInto(held, elseHeld)
+		}
+		return false
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			w.walkExprNodes(x.Cond, held)
+		}
+		body := cloneHeld(held)
+		w.walkStmt(x.Body, body)
+		if x.Post != nil {
+			w.walkStmt(x.Post, body)
+		}
+		mergeInto(held, body)
+		return false
+	case *ast.RangeStmt:
+		w.walkExprNodes(x.X, held)
+		body := cloneHeld(held)
+		w.walkStmt(x.Body, body)
+		mergeInto(held, body)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if s, ok := x.(*ast.SwitchStmt); ok {
+			if s.Init != nil {
+				w.walkStmt(s.Init, held)
+			}
+			if s.Tag != nil {
+				w.walkExprNodes(s.Tag, held)
+			}
+			body = s.Body
+		} else {
+			s := x.(*ast.TypeSwitchStmt)
+			if s.Init != nil {
+				w.walkStmt(s.Init, held)
+			}
+			body = s.Body
+		}
+		merged := cloneHeld(held)
+		for _, cl := range body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				clause := cloneHeld(held)
+				if !w.walkStmts(cc.Body, clause) {
+					mergeInto(merged, clause)
+				}
+			}
+		}
+		replaceHeld(held, merged)
+		return false
+	case *ast.SelectStmt:
+		if b, ok := w.blockAt[x.Pos()]; ok && len(held) > 0 {
+			w.report(x.Pos(), "%s held across %s; a stalled communication keeps the lock and blocks every other goroutine contending for it",
+				strings.Join(heldKeys(held), ", "), b.Desc)
+		}
+		merged := cloneHeld(held)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				clause := cloneHeld(held)
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, clause)
+				}
+				if !w.walkStmts(cc.Body, clause) {
+					mergeInto(merged, clause)
+				}
+			}
+		}
+		replaceHeld(held, merged)
+		return false
+	case *ast.SendStmt:
+		if b, ok := w.blockAt[x.Pos()]; ok && len(held) > 0 {
+			w.report(x.Pos(), "%s held across %s; if the channel is full the lock is never released",
+				strings.Join(heldKeys(held), ", "), b.Desc)
+		}
+		w.walkExprNodes(x.Chan, held)
+		w.walkExprNodes(x.Value, held)
+		return false
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the spawner's held locks;
+		// its body is its own node and is walked independently.
+		return false
+	case *ast.DeferStmt:
+		w.visitCall(x.Call, held, true)
+		return false
+	case *ast.ExprStmt:
+		if isPanicCall(x.X) {
+			return true
+		}
+		w.walkExprNodes(x.X, held)
+		return false
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		w.walkExprNodes(x, held)
+		return false
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, held)
+	}
+	return false
+}
+
+func replaceHeld(dst, src map[string]heldLock) {
+	for k := range dst { //asalint:ordered map clear is order-independent
+		delete(dst, k)
+	}
+	mergeInto(dst, src)
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// walkExprNodes inspects an expression-bearing node, applying lock
+// operations, call edges, and blocking checks in source order. Function
+// literal bodies are skipped: they are their own graph nodes and run with
+// their own (unknown) lock state.
+func (w *lockWalker) walkExprNodes(root ast.Node, held map[string]heldLock) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.visitCall(e, held, false)
+		case *ast.UnaryExpr:
+			if b, ok := w.blockAt[e.Pos()]; ok && len(held) > 0 {
+				w.report(e.Pos(), "%s held across %s; a stalled communication keeps the lock",
+					strings.Join(heldKeys(held), ", "), b.Desc)
+			}
+		}
+		return true
+	})
+}
+
+// visitCall applies one call expression to the held set.
+func (w *lockWalker) visitCall(call *ast.CallExpr, held map[string]heldLock, deferred bool) {
+	if op, ok := w.lockAt[call.Pos()]; ok {
+		switch op.Op {
+		case "Lock", "RLock":
+			if prior, exists := held[op.Lock]; exists && (op.Op == "Lock" || prior.op == "Lock") {
+				w.report(call.Pos(), "%s %sed while already held; sync mutexes are not reentrant, this path self-deadlocks", op.Lock, op.Op)
+			}
+			for _, from := range heldKeys(held) {
+				if from == op.Lock {
+					continue
+				}
+				*w.edges = append(*w.edges, lockEdge{from: from, to: op.Lock, site: call.Pos(), node: w.n})
+			}
+			if !deferred {
+				held[op.Lock] = heldLock{site: call.Pos(), op: op.Op}
+			}
+		case "Unlock", "RUnlock":
+			if !deferred && !op.Deferred {
+				delete(held, op.Lock)
+			}
+			// A deferred unlock is sticky: the lock stays held for the rest
+			// of the function.
+		}
+		return
+	}
+	if b, ok := w.blockAt[call.Pos()]; ok && len(held) > 0 {
+		w.report(call.Pos(), "%s held across %s", strings.Join(heldKeys(held), ", "), b.Desc)
+	}
+	edges := w.edgesAt[call.Lparen]
+	if len(edges) == 0 || len(held) == 0 {
+		return
+	}
+	for _, e := range edges {
+		if e.Callee == nil || e.Kind == callgraph.Ref || e.Kind == callgraph.Closure {
+			continue
+		}
+		for _, op := range w.g.TransitiveLocks(e.Callee) {
+			if op.Op != "Lock" && op.Op != "RLock" {
+				continue
+			}
+			if _, exists := held[op.Lock]; exists {
+				if e.Kind == callgraph.Static && (op.Op == "Lock" || held[op.Lock].op == "Lock") {
+					w.report(call.Pos(), "calling %s while holding %s; the callee acquires %s again and self-deadlocks",
+						e.Callee.ID, op.Lock, op.Lock)
+				}
+				continue
+			}
+			for _, from := range heldKeys(held) {
+				*w.edges = append(*w.edges, lockEdge{from: from, to: op.Lock, site: call.Pos(), node: w.n})
+			}
+		}
+		if e.Kind == callgraph.Static && lockorderScope(e.Callee.PkgPath) {
+			if blocks := w.g.TransitiveBlocks(e.Callee); len(blocks) > 0 {
+				w.report(call.Pos(), "%s held across call to %s, which can block (%s)",
+					strings.Join(heldKeys(held), ", "), e.Callee.ID, blocks[0].Desc)
+			}
+		}
+	}
+}

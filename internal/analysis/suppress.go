@@ -6,8 +6,14 @@ import (
 	"strings"
 )
 
-// suppression is one //asalint:<tag> comment awaiting a diagnostic to
-// silence.
+// directiveTags are //asalint: markers that are instructions to an analyzer
+// (not suppressions): they silence nothing, are never "unused", and are not
+// unknown tags. "hotroot" declares a hot-path root for the hotalloc analyzer.
+var directiveTags = map[string]bool{"hotroot": true}
+
+// suppression is one tag of one //asalint:<tag>[,<tag>...] comment awaiting a
+// diagnostic to silence. A comment listing several comma-separated tags
+// produces one record per tag, so used/unused tracking is per-tag.
 type suppression struct {
 	tag  string
 	pos  token.Position
@@ -15,18 +21,26 @@ type suppression struct {
 }
 
 // suppressions indexes the suppression comments of one package by file and
-// line.
+// covered line.
 type suppressions struct {
 	all []*suppression
-	// byLine maps filename -> line -> suppressions written on that line.
+	// byLine maps filename -> line -> suppressions covering that line.
 	byLine map[string]map[int][]*suppression
 }
 
 // collectSuppressions scans every comment in files for //asalint:<tag>
-// markers. The marker must start the comment; anything after the tag is the
-// human justification and is ignored by the machinery (but not by reviewers).
+// markers. The marker must start the comment; anything after the tag list is
+// the human justification and is ignored by the machinery (but not by
+// reviewers, and not by the suppress analyzer, which requires it to be
+// non-empty).
+//
+// Coverage: a suppression covers its own line and the line below — and when
+// either of those lines starts a statement, every line of that statement, so
+// a comment above a call wrapped over several lines silences diagnostics
+// anywhere inside it.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	s := &suppressions{byLine: make(map[string]map[int][]*suppression)}
+	extents := statementExtents(fset, files)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -34,42 +48,88 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 				if !ok {
 					continue
 				}
-				tag := text
+				tagPart := text
 				if i := strings.IndexAny(text, " \t"); i >= 0 {
-					tag = text[:i]
+					tagPart = text[:i]
 				}
-				if tag == "" {
+				if tagPart == "" {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				sp := &suppression{tag: tag, pos: pos}
-				s.all = append(s.all, sp)
-				lines := s.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]*suppression)
-					s.byLine[pos.Filename] = lines
+				lines := coveredLines(extents[pos.Filename], pos.Line)
+				for _, tag := range strings.Split(tagPart, ",") {
+					tag = strings.TrimSpace(tag)
+					if tag == "" || directiveTags[tag] {
+						continue
+					}
+					sp := &suppression{tag: tag, pos: pos}
+					s.all = append(s.all, sp)
+					byLine := s.byLine[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*suppression)
+						s.byLine[pos.Filename] = byLine
+					}
+					for _, line := range lines {
+						byLine[line] = append(byLine[line], sp)
+					}
 				}
-				lines[pos.Line] = append(lines[pos.Line], sp)
 			}
 		}
 	}
 	return s
 }
 
-// silence reports whether a suppression for tag covers the diagnostic
-// position — same line (trailing comment) or the line directly above (a
-// full-line comment introducing the statement) — and marks it used.
-func (s *suppressions) silence(tag string, pos token.Position) bool {
-	lines := s.byLine[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, sp := range lines[line] {
-			if sp.tag == tag {
-				sp.used = true
+// statementExtents maps filename -> statement start line -> last line of the
+// outermost statement starting there.
+func statementExtents(fset *token.FileSet, files []*ast.File) map[string]map[int]int {
+	extents := make(map[string]map[int]int)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(ast.Stmt)
+			if !ok {
 				return true
 			}
+			start := fset.Position(st.Pos())
+			end := fset.Position(st.End()).Line
+			lines := extents[start.Filename]
+			if lines == nil {
+				lines = make(map[int]int)
+				extents[start.Filename] = lines
+			}
+			if cur, ok := lines[start.Line]; !ok || end > cur {
+				lines[start.Line] = end
+			}
+			return true
+		})
+	}
+	return extents
+}
+
+// coveredLines expands a suppression at line into the lines it silences: the
+// comment's own line (trailing-comment form) and the line below (full-line
+// comment introducing a statement), each widened to the full extent of a
+// statement starting there.
+func coveredLines(extents map[int]int, line int) []int {
+	var out []int
+	for _, start := range []int{line, line + 1} {
+		end := start
+		if e, ok := extents[start]; ok && e > end {
+			end = e
+		}
+		for l := start; l <= end; l++ {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// silence reports whether a suppression for tag covers the diagnostic
+// position and marks it used.
+func (s *suppressions) silence(tag string, pos token.Position) bool {
+	for _, sp := range s.byLine[pos.Filename][pos.Line] {
+		if sp.tag == tag {
+			sp.used = true
+			return true
 		}
 	}
 	return false

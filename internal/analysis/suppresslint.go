@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppress closes the loop on the suppression mechanism itself: a
+// //asalint:<tag> comment with no justification text is an assertion without
+// evidence. The framework already reports suppressions that silence nothing;
+// this analyzer reports the other failure mode — a suppression that works
+// but never says why the silenced site is safe, which is what makes the
+// remaining suppressions in this repository reviewable.
+//
+// Directive comments (//asalint:hotroot) are instructions, not suppressions,
+// and need no justification.
+var Suppress = &Analyzer{
+	Name: "suppress",
+	Doc:  "require a written justification on every //asalint suppression comment",
+	Run:  runSuppress,
+}
+
+func runSuppress(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//asalint:")
+				if !ok {
+					continue
+				}
+				tagPart, rest := text, ""
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					tagPart, rest = text[:i], text[i:]
+				}
+				if tagPart == "" || allDirectives(tagPart) {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					pass.Reportf(c.Pos(), "//asalint:%s has no justification; state why the silenced site is safe", tagPart)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// allDirectives reports whether every comma-separated tag is a directive.
+func allDirectives(tagPart string) bool {
+	for _, tag := range strings.Split(tagPart, ",") {
+		if !directiveTags[strings.TrimSpace(tag)] {
+			return false
+		}
+	}
+	return true
+}

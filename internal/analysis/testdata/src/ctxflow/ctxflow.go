@@ -47,7 +47,8 @@ func NonBlocking(ctx context.Context, ch chan int) bool {
 	}
 }
 
-// unexported functions are outside the exported-API contract.
+// unexportedBlocked is unexported and unreachable from any exported
+// context-taking function, so the select rule does not bind it.
 func unexportedBlocked(ctx context.Context, ch chan int) int {
 	select {
 	case v := <-ch:
@@ -58,6 +59,35 @@ func unexportedBlocked(ctx context.Context, ch chan int) int {
 // NoCtx takes no context, so the select rule does not apply.
 func NoCtx(ch chan int) int {
 	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// Run delegates to its *Context twin inside a return statement — the blessed
+// non-context convenience entry point, exempt without any suppression.
+func Run(ch chan int) int {
+	return RunContext(context.Background(), ch)
+}
+
+// RunContext is the context-taking twin Run delegates to.
+func RunContext(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Laundered pushes its blocking select into an unexported helper; the select
+// rule follows the call graph, so the helper is still bound.
+func Laundered(ctx context.Context, ch chan int) int {
+	return launderedInner(ctx, ch)
+}
+
+func launderedInner(ctx context.Context, ch chan int) int {
+	select { // want `blocking select in launderedInner \(reachable from exported Laundered\) has no <-ctx\.Done\(\) case`
 	case v := <-ch:
 		return v
 	}

@@ -50,3 +50,17 @@ func structuralDaemon() {
 	//asalint:goexit joined by the owner's Close via the run channel
 	go work()
 }
+
+// spawnsUnderCallerJoin has a *sync.WaitGroup parameter: the caller owns the
+// join protocol and this function spawns on its behalf.
+func spawnsUnderCallerJoin(wg *sync.WaitGroup) {
+	go work()
+}
+
+// handsJoinProtocolDown passes its WaitGroup to a callee that performs the
+// Add/Done on its behalf: the join evidence was handed down.
+func handsJoinProtocolDown(spawn func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	spawn(&wg)
+	go work()
+}

@@ -1,0 +1,53 @@
+// Package hotalloc is an analysistest fixture for the hotalloc analyzer:
+// //asalint:hotroot marks hot-path roots, every function reachable from a
+// root through the call graph is on the hot path, steady-state allocation
+// sites inside it are reported, and cold branches (cap guards), self-feeding
+// appends, and justified suppressions are exempt.
+package hotalloc
+
+type kv struct {
+	Key   uint32
+	Value float64
+}
+
+//asalint:hotroot fixture steady-state loop
+func Root(buf []kv, n int) []kv {
+	tmp := make([]kv, n) // want `make on hot path: make\(\[\]kv, n\) \(inside hot root hotalloc\.Root\)`
+	copy(buf, tmp)
+	buf = grow(buf)
+	return buf
+}
+
+// grow carries no directive of its own: it is pulled onto the hot path
+// through the call edge from Root.
+func grow(buf []kv) []kv {
+	extra := new(kv) // want `new on hot path: new\(kv\) \(reachable from hot root hotalloc\.Root\)`
+	buf = append(buf, *extra)
+	return buf
+}
+
+//asalint:hotroot amortized growth: the cap guard marks the cold branch
+func ColdGrow(buf []kv, n int) []kv {
+	if cap(buf) < n {
+		buf = make([]kv, len(buf), n)
+	}
+	return buf
+}
+
+//asalint:hotroot self-feeding append is amortized growth, not an allocation site
+func SelfAppend(buf []kv, v kv) []kv {
+	buf = append(buf, v)
+	buf = append(buf[:len(buf)-1], v)
+	return buf
+}
+
+// offPath is unreachable from every root, so it may allocate freely.
+func offPath() []kv {
+	return []kv{{Key: 1}}
+}
+
+//asalint:hotroot justified-exemption root
+func Justified() *kv {
+	//asalint:hotalloc fixture exemption: this escape is deliberate and measured
+	return &kv{Key: 1}
+}

@@ -1,0 +1,94 @@
+// Package lockorder is an analysistest fixture for the lockorder analyzer:
+// acquisition-order cycles, re-acquired mutexes, locks held across blocking
+// operations, the early-unlock-and-return exemption, and justified
+// suppressions.
+package lockorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// lockAB and lockBA together form an acquisition-order cycle: two goroutines
+// running them concurrently can each hold the lock the other wants.
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle: lockorder\.muB acquired while lockorder\.muA is held`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `lock order cycle: lockorder\.muA acquired while lockorder\.muB is held`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var muC, muD sync.Mutex
+
+// lockCD nests two locks in one global order; a single-direction edge is not
+// a cycle.
+func lockCD() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+// reacquire self-deadlocks: sync mutexes are not reentrant.
+func reacquire() {
+	muC.Lock()
+	muC.Lock() // want `lockorder\.muC Locked while already held; sync mutexes are not reentrant`
+	muC.Unlock()
+	muC.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// sendLocked holds the mutex across an unbuffered channel send: a slow
+// receiver keeps the lock pinned.
+func (b *box) sendLocked(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // want `lockorder\.box\.mu held across channel send b\.ch <-; if the channel is full the lock is never released`
+}
+
+// earlyUnlock releases before returning on the fast path and before the
+// send: the branch-aware walk must not poison the fallthrough path.
+func (b *box) earlyUnlock(v int) {
+	b.mu.Lock()
+	if v < 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// lockAndCall reaches a second acquisition of the same mutex through a
+// static callee: the cross-function view catches what a per-function walk
+// cannot.
+func (b *box) lockAndCall() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockAgain() // want `calling lockorder\.\(\*box\)\.lockAgain while holding lockorder\.box\.mu; the callee acquires lockorder\.box\.mu again and self-deadlocks`
+}
+
+func (b *box) lockAgain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// justified mirrors serve.Queue.Submit: the send is provably non-blocking
+// and the suppression says why.
+func (b *box) justified(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//asalint:lockorder ch is buffered to the semaphore capacity, so this send always finds a free slot
+	b.ch <- v
+}

@@ -1,0 +1,28 @@
+// Package supjustify is an analysistest fixture for the suppress analyzer:
+// a suppression that works but never says why is reported, a justified one
+// is clean, and bare directives need no justification.
+package supjustify
+
+// justified carries a reason: the suppress analyzer is satisfied.
+func justified(m map[string]int) []string {
+	var out []string
+	for k := range m { //asalint:ordered out feeds a set; iteration order is immaterial
+		out = append(out, k)
+	}
+	return out
+}
+
+// bare silences detorder but never says why the site is safe, which is the
+// failure mode that makes suppressions unreviewable.
+func bare(m map[string]int) []string {
+	var out []string
+	for k := range m { /* want `//asalint:ordered has no justification; state why the silenced site is safe` */ //asalint:ordered
+		out = append(out, k)
+	}
+	return out
+}
+
+// Directive comments are instructions, not suppressions; a bare one is fine.
+//
+//asalint:hotroot
+func Directive() {}

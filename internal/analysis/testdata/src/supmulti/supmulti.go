@@ -1,0 +1,41 @@
+// Package supmulti is an analysistest fixture for suppression edge cases:
+// one comment may carry several comma-separated tags (each reported
+// individually when it silences nothing), and a suppression above a
+// multi-line statement covers every line of that statement — but not the
+// statement after it.
+package supmulti
+
+type kv struct{ Key uint32 }
+
+//asalint:hotroot multi-line statement coverage root
+func Lines() [][]kv {
+	//asalint:hotalloc one comment covers the whole multi-line statement below
+	pairs := [][]kv{
+		make([]kv, 1),
+		make([]kv, 2),
+	}
+	next := make([]kv, 3) // want `make on hot path: make\(\[\]kv, 3\) \(inside hot root supmulti\.Lines\)`
+	pairs = append(pairs, next)
+	return pairs
+}
+
+//asalint:hotroot shared-comment root: both tags silence something
+func Shared(m map[uint32]kv) [][]kv {
+	var out [][]kv
+	//asalint:ordered,hotalloc batches are order-insensitive and the per-batch buffers are measured cold
+	for k := range m {
+		out = append(out, make([]kv, int(k)))
+	}
+	return out
+}
+
+// PartlyStale shares one comment between a tag that fires and one that does
+// not: the stale half is reported by itself.
+func PartlyStale(m map[uint32]kv) []kv {
+	var out []kv
+	//asalint:ordered,hotalloc the iteration feeds a set; growth is amortized // want `unused //asalint:hotalloc suppression: the line is clean`
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -357,6 +357,7 @@ func (c *CAM) SortAndMerge(non, over []accum.KV) []accum.KV {
 		return non
 	}
 	non = append(non, over...)
+	//asalint:hotalloc sort_and_merge runs only when the CAM overflowed; one sort.Slice header is amortized over the whole overflow batch (Algorithm 2 lines 10-12)
 	sort.Slice(non, func(i, j int) bool { return non[i].Key < non[j].Key })
 	out := non[:0]
 	for _, kv := range non {

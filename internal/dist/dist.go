@@ -141,7 +141,7 @@ type Result struct {
 func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// Documented non-cancellable convenience entry point; callers who need
 	// preemption use RunContext.
-	return RunContext(context.Background(), g, opt) //asalint:ctxflow
+	return RunContext(context.Background(), g, opt)
 }
 
 // RunContext executes the simulated distributed Infomap under a context;

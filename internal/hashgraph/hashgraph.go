@@ -116,6 +116,8 @@ func (t *Table) sizeBins(bins int) {
 
 // Accumulate implements accum.Accumulator. It is the probe-free half of the
 // design: a bounds check and a sequential store, no table touch at all.
+//
+//asalint:hotroot probe-free accumulate: one buffered write per arc
 func (t *Table) Accumulate(key uint32, value float64) {
 	t.stats.Accumulates++
 	t.buf = append(t.buf, accum.KV{Key: key, Value: value})
@@ -213,6 +215,8 @@ func (t *Table) Lookup(key uint32) (float64, bool) {
 // Gather implements accum.Accumulator: resolve if needed, then append every
 // bin's merged prefix in bin order. The output order is a deterministic
 // function of the accumulate sequence alone.
+//
+//asalint:hotroot steady-state resolve+copy-out, pinned alloc-free by TestAllocsSteadyState
 func (t *Table) Gather(dst []accum.KV) []accum.KV {
 	t.stats.Gathers++
 	t.resolve()

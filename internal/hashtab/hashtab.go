@@ -151,6 +151,7 @@ func (t *Table) insert(key uint32, value float64) {
 // size and relinks every entry, counting each relink as a rehash event.
 func (t *Table) rehash() {
 	n := nextPrime(uint32(2*len(t.buckets) + 1))
+	//asalint:hotalloc rehash is the amortized growth path, entered only past the load-factor bound; steady-state accumulation never reaches it
 	t.buckets = make([]int32, n)
 	for i := range t.buckets {
 		t.buckets[i] = -1

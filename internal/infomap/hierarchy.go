@@ -75,7 +75,7 @@ type HierResult struct {
 func RunHierarchical(g *graph.Graph, opt Options) (*HierResult, error) {
 	// Documented non-cancellable convenience entry point; callers who need
 	// preemption use RunHierarchicalContext.
-	return RunHierarchicalContext(context.Background(), g, opt) //asalint:ctxflow
+	return RunHierarchicalContext(context.Background(), g, opt)
 }
 
 // RunHierarchicalContext is RunHierarchical under a context; the flat run

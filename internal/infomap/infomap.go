@@ -32,7 +32,7 @@ import (
 func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// Documented non-cancellable convenience entry point; callers who need
 	// preemption use RunContext.
-	return RunContext(context.Background(), g, opt) //asalint:ctxflow
+	return RunContext(context.Background(), g, opt)
 }
 
 // RunContext is Run under a context: cancellation is observed between

@@ -66,6 +66,8 @@ func (w *worker) snapshotStats() {
 // pure function of the shuffled order: concatenating block buffers in block
 // index order recovers exactly the serial visitation sequence, no matter
 // which worker ran — or stole — which block.
+//
+//asalint:hotroot per-sweep block evaluation: the inner loop of the paper's kernel
 func (w *worker) evaluateBlock(st *mapeq.State, f *mapeq.Flow, order []uint32, lo, hi int, dst []proposal) []proposal {
 	for i := lo; i < hi; i++ {
 		if p, ok := w.findBestCommunity(st, f, int(order[i])); ok {
@@ -254,6 +256,7 @@ func sortKV(kvs []accum.KV) {
 
 // findKV binary-searches sorted kvs for key, returning its index or -1.
 func findKV(kvs []accum.KV, key uint32) int {
+	//asalint:hotalloc sort.Search does not retain f, so escape analysis keeps this closure off the heap
 	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
 	if i < len(kvs) && kvs[i].Key == key {
 		return i

@@ -228,6 +228,7 @@ func (f *Flow) ContractParallel(membership []uint32, numModules int, pool *sched
 
 	// Pass 1: count boundary arcs (positive flow, crossing modules) per block.
 	counts := make([]int, nblocks)
+	//asalint:hotroot contraction pass 1: per-block arc counting
 	countBlock := func(_, blk, lo, hi int) error {
 		c := 0
 		for u := lo; u < hi; u++ {
@@ -253,6 +254,7 @@ func (f *Flow) ContractParallel(membership []uint32, numModules int, pool *sched
 
 	// Pass 2: write boundary arcs at exact offsets, in CSR order per block.
 	arcs := make([]graph.Edge, offs[nblocks])
+	//asalint:hotroot contraction pass 2: scatter arcs into prefix-summed slots
 	fillBlock := func(_, blk, lo, hi int) error {
 		pos := offs[blk]
 		for u := lo; u < hi; u++ {
@@ -314,6 +316,7 @@ func (f *Flow) ContractParallel(membership []uint32, numModules int, pool *sched
 	} else {
 		mbounds = []int{0, numModules}
 	}
+	//asalint:hotroot contraction pass 3: fold duplicate arcs per community
 	sumBlock := func(_, _, lo, hi int) error {
 		for m := lo; m < hi; m++ {
 			var nf, to, ld float64

@@ -78,7 +78,7 @@ func Undirected(g *graph.Graph) *Result {
 func Compute(g *graph.Graph, cfg Config) (*Result, error) {
 	// Documented non-cancellable convenience entry point; callers who need
 	// preemption use ComputeContext.
-	return ComputeContext(context.Background(), g, cfg) //asalint:ctxflow
+	return ComputeContext(context.Background(), g, cfg)
 }
 
 // ComputeContext is Compute under a context: cancellation is observed before

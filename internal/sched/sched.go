@@ -191,6 +191,8 @@ func (d *dispatch) setErr(err error) {
 // trace parent, the worker's share is emitted as a keyed volatile span (its
 // ID derives from the worker ID, and it never enters the canonical tree, so
 // tracing cannot perturb the determinism contract).
+//
+//asalint:hotroot per-worker dispatch loop: own span then stealing
 func (d *dispatch) runWorker(id int) {
 	ws := d.parent.ChildKeyed("worker", uint64(id))
 	ws.SetTrack(id + 1)
@@ -226,6 +228,7 @@ func (d *dispatch) runWorker(id int) {
 	}
 }
 
+//asalint:hotroot per-block execution under the work-stealing scheduler
 func (d *dispatch) runBlock(id, b int, st *WorkerStat, stolen bool) {
 	if d.failed.Load() {
 		return

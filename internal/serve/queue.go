@@ -247,7 +247,8 @@ func (q *Queue) Submit(ctx context.Context, run func(ctx context.Context) error)
 		return nil, ErrQueueClosed
 	}
 	q.counters.submitted++
-	q.jobs <- j // cannot block: sem guarantees a free slot in the buffer
+	//asalint:lockorder sem is acquired before mu and q.jobs is buffered to cap(sem), so this send always finds a free slot
+	q.jobs <- j
 	q.mu.Unlock()
 	return &JobHandle{job: j}, nil
 }
