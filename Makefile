@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-json race fuzz-smoke bench-smoke bench-accum chaos-smoke delta-replay all
+.PHONY: build test lint lint-json race fuzz-smoke bench-smoke bench-accum bench-sched chaos-smoke delta-replay all
 
 all: build lint test
 
@@ -40,6 +40,13 @@ bench-accum:
 	$(GO) run ./cmd/asabench -exp accum -quick -json BENCH_accum_ci.json
 	$(GO) test -run 'TestAccumQuick|TestCommittedAccumArtifact' ./internal/bench
 
+# bench-sched regenerates the scheduler sweep at quick scale (into a CI
+# scratch file, never the committed artifact) and verifies the committed
+# BENCH_sched.json still matches the schema and determinism invariants.
+bench-sched:
+	$(GO) run ./cmd/asabench -exp sched -quick -json BENCH_sched_ci.json
+	$(GO) test -run 'TestSchedQuick|TestCommittedSchedArtifact' ./internal/bench
+
 # delta-replay is the incremental-detection proof tier: the committed
 # FuzzDeltaReplay seed corpus plus a short fuzz session against the
 # scratch-rebuild oracle, the differential warm-vs-cold tests (shared-memory,
@@ -56,7 +63,8 @@ delta-replay:
 
 # chaos-smoke exercises the replicated service under the seeded fault
 # injector (race detector on), then drives an in-process 3-replica cluster
-# with the open-loop load generator.
+# with the open-loop load generator, capturing one forwarded request's merged
+# cluster trace as a Perfetto-loadable artifact.
 chaos-smoke:
 	$(GO) test -race -run 'TestCluster|TestPeerClient|TestBreaker' -count=2 ./internal/serve/cluster
-	$(GO) run ./cmd/asaload -self-serve -self-replicas 3 -fault-drop 0.05 -fault-fail 0.05 -rate 100 -duration 5s -out BENCH_serve_ci.json
+	$(GO) run ./cmd/asaload -self-serve -self-replicas 3 -fault-drop 0.05 -fault-fail 0.05 -rate 100 -duration 5s -out BENCH_serve_ci.json -trace-out cluster_trace_ci.json

@@ -12,6 +12,13 @@
 //	asaload -target http://localhost:8715 -rate 100 -duration 10s
 //	asaload -self-serve -rate 200 -duration 5s -out BENCH_serve.json
 //	asaload -self-serve -self-replicas 3 -fault-drop 0.1 -fault-fail 0.1
+//	asaload -self-serve -self-replicas 3 -profile-out prof -trace-out trace.json
+//
+// -profile-out captures pprof artifacts next to the profile: a CPU profile
+// overlapping the load window and a heap snapshot after it, both via the
+// service's GET /debug/profile endpoint. -trace-out fetches the merged
+// cluster trace of one driven request (Chrome/Perfetto JSON) — with
+// -self-replicas it shows the request crossing router and owner tracks.
 //
 // With -self-serve, asaload hosts the service in-process on loopback
 // listeners — zero external dependencies, which is what the CI chaos-smoke
@@ -67,6 +74,8 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
 	inflight := flag.Int("inflight", 256, "max concurrent in-flight requests; arrivals beyond are shed")
 	out := flag.String("out", "BENCH_serve.json", `profile output path ("-" = stdout)`)
+	profileOut := flag.String("profile-out", "", "pprof artifact path prefix: captures <prefix>.cpu.pprof during the run and <prefix>.heap.pprof after it")
+	traceOut := flag.String("trace-out", "", "write the merged Chrome trace of one driven request (cluster-stitched when load hits a router) to this path")
 	flag.Parse()
 
 	if *target == "" && !*selfServe {
@@ -93,7 +102,28 @@ func main() {
 		fatal(err)
 	}
 
-	res := drive(base, hashes, *seeds, *rate, *duration, *inflight)
+	// The CPU profile must overlap the load window, so it runs concurrently
+	// with the open loop; the heap snapshot is taken after, when the steady
+	// state's allocations are what remain live.
+	cpuDone := startCPUProfile(base, *profileOut, *duration)
+
+	res, traceID := drive(base, hashes, *seeds, *rate, *duration, *inflight)
+
+	if cpuDone != nil {
+		<-cpuDone
+	}
+	if *profileOut != "" {
+		if err := fetchToFile(base+"/debug/profile?kind=heap", *profileOut+".heap.pprof"); err != nil {
+			fmt.Fprintf(os.Stderr, "asaload: heap profile: %v\n", err)
+		}
+	}
+	if *traceOut != "" {
+		if traceID == "" {
+			fmt.Fprintln(os.Stderr, "asaload: -trace-out: no request returned a trace id")
+		} else if err := fetchToFile(base+"/debug/trace/"+traceID+"?format=chrome", *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "asaload: trace fetch: %v\n", err)
+		}
+	}
 	res.Config = map[string]any{
 		"target":        *target,
 		"self_serve":    *selfServe,
@@ -173,8 +203,52 @@ func summarize(h *trace.Histogram) latencySummary {
 	}
 }
 
-// drive runs the open loop and aggregates the outcome counters.
-func drive(base string, hashes []string, seeds int, rate float64, duration time.Duration, inflight int) *profile {
+// startCPUProfile kicks off a concurrent CPU-profile capture covering (most
+// of) the load window and returns a channel closed when the artifact is
+// written; nil when no prefix was given.
+func startCPUProfile(base, prefix string, duration time.Duration) chan struct{} {
+	if prefix == "" {
+		return nil
+	}
+	seconds := int(duration.Seconds())
+	if seconds < 1 {
+		seconds = 1
+	}
+	if seconds > 10 {
+		seconds = 10
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		url := fmt.Sprintf("%s/debug/profile?kind=cpu&seconds=%d", base, seconds)
+		if err := fetchToFile(url, prefix+".cpu.pprof"); err != nil {
+			fmt.Fprintf(os.Stderr, "asaload: cpu profile: %v\n", err)
+		}
+	}()
+	return done
+}
+
+// fetchToFile GETs url and writes the body to path.
+func fetchToFile(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// drive runs the open loop and aggregates the outcome counters. It also
+// returns the trace ID of one driven request (preferring one the cluster
+// forwarded — the interesting multi-node shape) for -trace-out.
+func drive(base string, hashes []string, seeds int, rate float64, duration time.Duration, inflight int) (*profile, string) {
 	if rate <= 0 {
 		rate = 1
 	}
@@ -190,6 +264,8 @@ func drive(base string, hashes []string, seeds int, rate float64, duration time.
 		cache                                         = map[string]uint64{}
 		paths                                         = map[string]uint64{}
 		statuses                                      = map[string]uint64{}
+		traceID                                       string
+		traceForwarded                                bool
 	)
 	sem := make(chan struct{}, inflight)
 	hc := &http.Client{Timeout: 2 * time.Minute}
@@ -238,8 +314,15 @@ func drive(base string, hashes []string, seeds int, rate float64, duration time.
 			if v := resp.Header.Get("X-Asamap-Cache"); v != "" {
 				cache[v]++
 			}
-			if v := resp.Header.Get(cluster.HeaderCluster); v != "" {
-				paths[v]++
+			path := resp.Header.Get(cluster.HeaderCluster)
+			if path != "" {
+				paths[path]++
+			}
+			if tid := resp.Header.Get("X-Asamap-Trace-Id"); tid != "" && resp.StatusCode == http.StatusOK {
+				forwarded := path == "forwarded"
+				if traceID == "" || (forwarded && !traceForwarded) {
+					traceID, traceForwarded = tid, forwarded
+				}
 			}
 			mu.Unlock()
 		}()
@@ -268,7 +351,7 @@ func drive(base string, hashes []string, seeds int, rate float64, duration time.
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(completed.Load()) / elapsed
 	}
-	return res
+	return res, traceID
 }
 
 // uploadGraphs generates nGraphs LFR graphs and registers them at base.

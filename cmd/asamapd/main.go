@@ -34,9 +34,16 @@
 //	POST /v1/detect                   {"graph":"<hash or version id>","options":{...}};
 //	                                  options.warm_start replays the lineage warm
 //	GET  /healthz                     liveness + build info + registry/queue/cache stats
-//	GET  /metrics                     Prometheus text format (latency histograms, accumulator, cluster counters)
+//	GET  /metrics                     Prometheus text format (latency histograms, accumulator,
+//	                                  cluster counters, Go runtime gauges, trace-drop counters)
+//	GET  /metrics/snapshot            machine-readable /metrics twin (cluster federation wire)
+//	GET  /cluster/metrics[?format=json]  exact cluster-wide aggregate of every node's metrics,
+//	                                  with per-peer scrape-failure accounting (cluster mode)
 //	GET  /cluster/status              replication/forwarding/breaker state (cluster mode)
 //	GET  /debug/trace[?n=N]           last-N completed spans from the trace ring
+//	GET  /debug/trace/{trace-id}      one distributed trace: merged across nodes on a cluster
+//	                                  node (?format=chrome for a per-node-track Perfetto export)
+//	GET  /debug/profile?kind=heap|cpu[&seconds=N]  one-shot pprof snapshot
 //	GET  /debug/pprof/                Go profiling
 package main
 

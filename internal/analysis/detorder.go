@@ -31,7 +31,7 @@ var Detorder = &Analyzer{
 		"internal/infomap", "internal/sched", "internal/pagerank",
 		"internal/mapeq", "internal/graph", "internal/serve",
 		"internal/metrics", "internal/export", "internal/trace",
-		"internal/obs", "internal/hashgraph",
+		"internal/obs", "internal/obs/propagate", "internal/hashgraph",
 	),
 	Run: runDetorder,
 }

@@ -27,16 +27,22 @@ type schedRow struct {
 	BitIdentical bool    `json:"bit_identical"` // membership == 1-worker reference
 }
 
+// SchedSchemaVersion pins the BENCH_sched.json schema. Bump it when
+// schedReport/schedRow change shape, and regenerate the committed artifact.
+const SchedSchemaVersion = 1
+
 // schedReport is the BENCH_sched.json artifact.
 type schedReport struct {
-	Experiment string     `json:"experiment"`
-	Vertices   int        `json:"vertices"`
-	Arcs       int        `json:"arcs"`
-	Generator  string     `json:"generator"`
-	Scale      int        `json:"scale"`
-	EdgeFactor int        `json:"edge_factor"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Rows       []schedRow `json:"rows"`
+	SchemaVersion int        `json:"schema_version"`
+	Experiment    string     `json:"experiment"`
+	Quick         bool       `json:"quick,omitempty"` // reduced scale; not a committable artifact
+	Vertices      int        `json:"vertices"`
+	Arcs          int        `json:"arcs"`
+	Generator     string     `json:"generator"`
+	Scale         int        `json:"scale"`
+	EdgeFactor    int        `json:"edge_factor"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	Rows          []schedRow `json:"rows"`
 	// SpeedupStealVsStatic is steal's sweep-wall speedup over static
 	// chunking at the largest worker count of the sweep.
 	SpeedupStealVsStatic float64 `json:"speedup_steal_vs_static"`
@@ -58,13 +64,15 @@ func runSched(cfg Config, w io.Writer) error {
 		return err
 	}
 	report := schedReport{
-		Experiment: "sched",
-		Vertices:   g.N(),
-		Arcs:       g.M(),
-		Generator:  "rmat",
-		Scale:      scale,
-		EdgeFactor: edgeFactor,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SchemaVersion: SchedSchemaVersion,
+		Experiment:    "sched",
+		Quick:         cfg.Quick,
+		Vertices:      g.N(),
+		Arcs:          g.M(),
+		Generator:     "rmat",
+		Scale:         scale,
+		EdgeFactor:    edgeFactor,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 	}
 	fmt.Fprintf(w, "R-MAT scale %d (%d vertices, %d arcs), GOMAXPROCS=%d\n",
 		scale, g.N(), g.M(), report.GOMAXPROCS)

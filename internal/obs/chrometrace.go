@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"time"
 )
 
 // chromeEvent is one Chrome trace-event ("X" = complete event). The format
@@ -30,6 +31,39 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// chromeSpanEvent renders one completed span as a Chrome complete event on
+// the given pid, with timestamps relative to epoch.
+func chromeSpanEvent(s SpanData, epoch time.Time, pid int) chromeEvent {
+	cat := "span"
+	if s.Volatile {
+		cat = "volatile"
+	}
+	args := make(map[string]string, len(s.Attrs)+len(s.VolatileAttrs)+3)
+	for _, a := range s.Attrs {
+		args[a.Key] = a.Value
+	}
+	for _, a := range s.VolatileAttrs {
+		args[a.Key] = a.Value
+	}
+	args["id"] = fmt.Sprintf("%016x", s.ID)
+	if s.Parent != 0 {
+		args["parent"] = fmt.Sprintf("%016x", s.Parent)
+	}
+	if s.Trace != 0 {
+		args["trace"] = fmt.Sprintf("%016x", s.Trace)
+	}
+	return chromeEvent{
+		Name:  s.Name,
+		Cat:   cat,
+		Phase: "X",
+		TS:    float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+		Dur:   float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3,
+		PID:   pid,
+		TID:   s.Track + 1,
+		Args:  args,
+	}
+}
+
 // WriteChromeTrace renders every retained completed span as Chrome
 // trace-event JSON. Volatile spans and attributes are included — this is the
 // profiling artifact, not the determinism witness (use CanonicalJSON for
@@ -42,31 +76,50 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Snapshot(0)
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, s := range spans {
-		cat := "span"
-		if s.Volatile {
-			cat = "volatile"
-		}
-		args := make(map[string]string, len(s.Attrs)+len(s.VolatileAttrs)+2)
-		for _, a := range s.Attrs {
-			args[a.Key] = a.Value
-		}
-		for _, a := range s.VolatileAttrs {
-			args[a.Key] = a.Value
-		}
-		args["id"] = fmt.Sprintf("%016x", s.ID)
-		if s.Parent != 0 {
-			args["parent"] = fmt.Sprintf("%016x", s.Parent)
-		}
+		out.TraceEvents = append(out.TraceEvents, chromeSpanEvent(s, t.epoch, 1))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// NodeTrack is one node's contribution to a merged multi-process Chrome
+// export: a display label, the node's own epoch (its spans' timestamps are
+// rendered relative to it — cross-node clocks are not aligned), and the
+// spans themselves.
+type NodeTrack struct {
+	// PID is the Chrome process ID the node renders as (one track group per
+	// node; must be unique across the export).
+	PID int
+	// Label names the process in the viewer (e.g. "router", "replica 1").
+	Label string
+	// Epoch is the zero point for this node's timestamps.
+	Epoch time.Time
+	// Spans are the node's completed spans.
+	Spans []SpanData
+}
+
+// WriteMergedChromeTrace renders several nodes' span sets as one Chrome
+// trace with one process per node, the cluster-wide view of a distributed
+// trace: each node's spans keep their own epoch-relative timeline, and the
+// id/parent/trace args let machine consumers stitch the cross-node edges
+// that time containment cannot express.
+func WriteMergedChromeTrace(w io.Writer, nodes []NodeTrack) error {
+	var total int
+	for _, n := range nodes {
+		total += len(n.Spans) + 1
+	}
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, total), DisplayTimeUnit: "ms"}
+	for _, n := range nodes {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name:  s.Name,
-			Cat:   cat,
-			Phase: "X",
-			TS:    float64(s.Start.Sub(t.epoch).Nanoseconds()) / 1e3,
-			Dur:   float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3,
-			PID:   1,
-			TID:   s.Track + 1,
-			Args:  args,
+			Name:  "process_name",
+			Cat:   "__metadata",
+			Phase: "M",
+			PID:   n.PID,
+			Args:  map[string]string{"name": n.Label},
 		})
+		for _, s := range n.Spans {
+			out.TraceEvents = append(out.TraceEvents, chromeSpanEvent(s, n.Epoch, n.PID))
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -81,37 +134,38 @@ type TreeNode struct {
 	Children []*TreeNode `json:"children,omitempty"`
 }
 
-// CanonicalTree assembles the retained non-volatile spans into root-ordered
-// trees. Children are ordered by their structural birth index, which is a
-// pure function of program structure, so for a fixed seed the tree is
-// identical across worker counts and steal schedules. Spans whose parent was
-// ring-evicted (or never ended) surface as roots.
-func (t *Tracer) CanonicalTree() []*TreeNode {
-	if t == nil {
-		return nil
-	}
-	spans := t.Snapshot(0)
+// BuildCanonicalTree assembles non-volatile spans into root-ordered trees.
+// Children are ordered by their structural birth index, which is a pure
+// function of program structure, so for a fixed seed the tree is identical
+// across worker counts and steal schedules. Spans whose parent is absent from
+// the set (ring-evicted, never ended, or living on a node that failed to
+// report) surface as roots.
+//
+// Span IDs are deterministic, so the same logical span can appear more than
+// once in a merged cluster set — a faulted duplicate delivery replays the
+// identical request on the receiver, producing a second tree with the same
+// IDs. Repeated IDs are collapsed to the first occurrence, which is what
+// makes the canonical form stable under duplicate-injecting chaos schedules.
+func BuildCanonicalTree(spans []SpanData) []*TreeNode {
 	type entry struct {
 		data SpanData
 		node *TreeNode
 	}
 	byID := make(map[uint64]entry, len(spans))
-	for _, s := range spans {
-		if s.Volatile {
-			continue
-		}
-		byID[s.ID] = entry{s, &TreeNode{Name: s.Name, Attrs: s.Attrs}}
-	}
 	type edge struct {
 		seq    uint64
 		id     uint64
 		parent uint64
 	}
-	edges := make([]edge, 0, len(byID))
+	edges := make([]edge, 0, len(spans))
 	for _, s := range spans {
 		if s.Volatile {
 			continue
 		}
+		if _, dup := byID[s.ID]; dup {
+			continue
+		}
+		byID[s.ID] = entry{s, &TreeNode{Name: s.Name, Attrs: s.Attrs}}
 		edges = append(edges, edge{seq: s.Seq, id: s.ID, parent: s.Parent})
 	}
 	// Attach children in (parent, seq) order. Sorting by (parent, seq, id)
@@ -169,9 +223,24 @@ func (t *Tracer) CanonicalTree() []*TreeNode {
 	return roots
 }
 
-// CanonicalJSON renders the canonical tree as indented JSON. For a fixed
-// seed the bytes are identical across worker counts and scheduling policies
-// — the determinism witness the golden tests compare.
+// MarshalCanonicalJSON renders spans as the canonical indented-JSON tree.
+// For a fixed seed the bytes are identical across worker counts and
+// scheduling policies — the determinism witness the golden tests compare.
+func MarshalCanonicalJSON(spans []SpanData) ([]byte, error) {
+	return json.MarshalIndent(BuildCanonicalTree(spans), "", "  ")
+}
+
+// CanonicalTree assembles the tracer's retained non-volatile spans into
+// root-ordered trees; see BuildCanonicalTree.
+func (t *Tracer) CanonicalTree() []*TreeNode {
+	if t == nil {
+		return nil
+	}
+	return BuildCanonicalTree(t.Snapshot(0))
+}
+
+// CanonicalJSON renders the canonical tree as indented JSON; see
+// MarshalCanonicalJSON.
 func (t *Tracer) CanonicalJSON() ([]byte, error) {
-	return json.MarshalIndent(t.CanonicalTree(), "", "  ")
+	return MarshalCanonicalJSON(t.Snapshot(0))
 }

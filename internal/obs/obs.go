@@ -60,9 +60,11 @@ type Tracer struct {
 
 	rootSeq atomic.Uint64
 
-	mu    sync.Mutex
-	done  []SpanData // completed spans in End order (ring-evicted from the front)
-	start int        // index of the oldest retained span in done (ring mode)
+	mu            sync.Mutex
+	done          []SpanData // completed spans in End order (ring-evicted from the front)
+	start         int        // index of the oldest retained span in done (ring mode)
+	droppedSpans  uint64     // spans ring-evicted before anyone read them
+	droppedTraces uint64     // evicted spans that rooted a trace segment (local or remote)
 }
 
 // New constructs a Tracer from cfg. A nil *Tracer is a valid no-op tracer:
@@ -96,10 +98,12 @@ type Span struct {
 	tracer   *Tracer
 	id       uint64
 	parent   uint64
+	trace    uint64 // the trace this span belongs to (root span ID, inherited)
 	seq      uint64 // birth index among siblings; orders canonical children
 	name     string
 	track    int
 	volatile bool
+	remote   bool // roots a remote segment (BeginRemote)
 	start    time.Time
 
 	children atomic.Uint64
@@ -118,19 +122,68 @@ const keyedSalt = 0x9e3779b97f4a7c15
 // canonical tree.
 const keyedSeqBase = uint64(1) << 32
 
-// Begin starts a new root span. Returns nil (a no-op span) on a nil tracer.
+// remoteSalt separates remote segment roots from structural children of the
+// same parent span, so a forwarded request's remote root can never alias a
+// sender-side child.
+const remoteSalt = 0xd1b54a32d192ed03
+
+// Begin starts a new root span; the span's ID is also the ID of the new
+// trace it roots. Returns nil (a no-op span) on a nil tracer.
 func (t *Tracer) Begin(name string) *Span {
 	if t == nil {
 		return nil
 	}
 	pos := t.rootSeq.Add(1)
+	id := rng.Hash64(t.seed ^ rng.Hash64(pos))
 	return &Span{
 		tracer: t,
-		id:     rng.Hash64(t.seed ^ rng.Hash64(pos)),
+		id:     id,
+		trace:  id,
 		seq:    pos,
 		name:   name,
 		start:  t.clk.Now(),
 	}
+}
+
+// BeginRemote starts the local root of a distributed trace segment: a span
+// belonging to traceID whose parent lives on another node. Its ID is a pure
+// function of the remote parent's ID, so duplicate deliveries of the same
+// forwarded request produce the same remote root (merge dedups them), while
+// distinct retry attempts — each propagating its own attempt span as parent —
+// produce distinct roots. Returns nil on a nil tracer or zero coordinates.
+func (t *Tracer) BeginRemote(name string, traceID, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == 0 || parent == 0 {
+		return t.Begin(name)
+	}
+	return &Span{
+		tracer: t,
+		id:     rng.Hash64(parent ^ remoteSalt),
+		parent: parent,
+		trace:  traceID,
+		seq:    1,
+		name:   name,
+		remote: true,
+		start:  t.clk.Now(),
+	}
+}
+
+// ID returns the span's deterministic ID (0 on a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Trace returns the ID of the trace the span belongs to (0 on a nil span).
+func (s *Span) Trace() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
 }
 
 // Child starts a sub-span. The child's ID is a pure function of the parent's
@@ -145,6 +198,7 @@ func (s *Span) Child(name string) *Span {
 		tracer: s.tracer,
 		id:     rng.Hash64(s.id ^ rng.Hash64(pos)),
 		parent: s.id,
+		trace:  s.trace,
 		seq:    pos,
 		name:   name,
 		start:  s.tracer.clk.Now(),
@@ -164,6 +218,7 @@ func (s *Span) ChildKeyed(name string, key uint64) *Span {
 		tracer:   s.tracer,
 		id:       rng.Hash64(s.id ^ rng.Hash64(key) ^ keyedSalt),
 		parent:   s.id,
+		trace:    s.trace,
 		seq:      keyedSeqBase + key,
 		name:     name,
 		volatile: true,
@@ -256,10 +311,12 @@ func (s *Span) End() {
 	data := SpanData{
 		ID:            s.id,
 		Parent:        s.parent,
+		Trace:         s.trace,
 		Seq:           s.seq,
 		Name:          s.name,
 		Track:         s.track,
 		Volatile:      s.volatile,
+		Remote:        s.remote,
 		Start:         s.start,
 		End:           end,
 		Attrs:         s.attrs,
@@ -272,15 +329,21 @@ func (s *Span) End() {
 // SpanData is one completed span as retained by the tracer.
 type SpanData struct {
 	ID            uint64
-	Parent        uint64 // 0 for roots
+	Parent        uint64 // 0 for local roots; the remote parent for remote segment roots
+	Trace         uint64 // root span ID of the trace this span belongs to
 	Seq           uint64
 	Name          string
 	Track         int
 	Volatile      bool
+	Remote        bool // roots a remote trace segment (parent lives on another node)
 	Start, End    time.Time
 	Attrs         []Attr
 	VolatileAttrs []Attr
 }
+
+// rootsSegment reports whether evicting this span truncates a whole trace
+// segment: a local trace root (ID == Trace) or a remote segment root.
+func (d SpanData) rootsSegment() bool { return d.ID == d.Trace || d.Remote }
 
 // Duration returns the span's wall time.
 func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
@@ -289,7 +352,18 @@ func (t *Tracer) commit(data SpanData) {
 	t.mu.Lock()
 	t.done = append(t.done, data)
 	if t.ring > 0 && len(t.done)-t.start > t.ring {
-		t.start = len(t.done) - t.ring
+		next := len(t.done) - t.ring
+		// Truncation is never silent: every evicted span bumps the dropped
+		// counter, and evicted segment roots additionally count as dropped
+		// traces, so /metrics can surface how much trace history the ring
+		// discarded.
+		for i := t.start; i < next; i++ {
+			t.droppedSpans++
+			if t.done[i].rootsSegment() {
+				t.droppedTraces++
+			}
+		}
+		t.start = next
 		// Compact once the dead prefix dominates, so memory stays O(ring)
 		// without copying on every End.
 		if t.start >= t.ring {
@@ -298,6 +372,17 @@ func (t *Tracer) commit(data SpanData) {
 		}
 	}
 	t.mu.Unlock()
+}
+
+// Dropped reports how many completed spans the ring has evicted, and how
+// many of those rooted a trace segment (a truncated-trace witness).
+func (t *Tracer) Dropped() (spans, traces uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedSpans, t.droppedTraces
 }
 
 // Epoch returns the tracer's construction time; Chrome-export timestamps are
@@ -329,5 +414,23 @@ func (t *Tracer) Snapshot(n int) []SpanData {
 	}
 	out := make([]SpanData, len(live))
 	copy(out, live)
+	return out
+}
+
+// TraceSpans returns every retained completed span belonging to traceID, in
+// End order. This is the per-trace read path behind GET /debug/trace/{id}:
+// the ring is the store, the trace ID is the key.
+func (t *Tracer) TraceSpans(traceID uint64) []SpanData {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanData
+	for _, d := range t.done[t.start:] {
+		if d.Trace == traceID {
+			out = append(out, d)
+		}
+	}
 	return out
 }

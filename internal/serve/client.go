@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"github.com/asamap/asamap/internal/clock"
+	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/obs/propagate"
 	"github.com/asamap/asamap/internal/rng"
 )
 
@@ -102,22 +104,33 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 }
 
 // ServerBusyError reports a 429 rejection with the server's Retry-After
-// estimate.
+// estimate. RequestID carries the server's X-Request-Id so the rejection can
+// be correlated with the server-side log line.
 type ServerBusyError struct {
 	RetryAfter time.Duration
+	RequestID  string
 }
 
 func (e *ServerBusyError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serve: server busy, retry after %s (request %s)", e.RetryAfter, e.RequestID)
+	}
 	return fmt.Sprintf("serve: server busy, retry after %s", e.RetryAfter)
 }
 
-// APIError is any non-2xx response that is not a 429.
+// APIError is any non-2xx response that is not a 429. RequestID carries the
+// server's X-Request-Id so a client-side error report names the exact
+// server-side log lines (and trace spans) that produced it.
 type APIError struct {
-	Status  int
-	Message string
+	Status    int
+	Message   string
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serve: HTTP %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Message)
 }
 
@@ -269,6 +282,19 @@ func (c *Client) do(req *http.Request, out any) error {
 // send executes req — re-issuing it under the retry policy when one is set —
 // and returns the final response with its fully read body.
 func (c *Client) send(req *http.Request) (*http.Response, []byte, error) {
+	// Never forward a caller-supplied trace context: the header is cluster
+	// addressing, and anything already on the request is stale by definition.
+	// A fresh context is injected per attempt below, and only when this call
+	// runs inside a traced server request (the cluster fetch paths) — a
+	// standalone client never emits the header at all.
+	propagate.Strip(req.Header)
+	tid, hop := RequestTrace(req.Context())
+	var call *obs.Span
+	if sp := requestSpan(req.Context()); sp != nil {
+		call = sp.Child("client.call")
+		call.SetAttr("target", req.Method+" "+req.URL.Path)
+		defer call.End()
+	}
 	for attempt := 1; ; attempt++ {
 		r := req
 		if attempt > 1 {
@@ -281,7 +307,26 @@ func (c *Client) send(req *http.Request) (*http.Response, []byte, error) {
 				r.Body = body
 			}
 		}
+		var att *obs.Span
+		if call != nil {
+			// One child span per attempt; remote request spans root under its
+			// ID, so each retry stitches to its own attempt while duplicate
+			// deliveries of one attempt collapse to one remote tree.
+			att = call.Child("client.attempt")
+			att.SetUint("attempt", uint64(attempt))
+			if tid != 0 && hop < propagate.MaxHops {
+				propagate.Inject(r.Header, propagate.Context{TraceID: tid, Parent: att.ID(), Hop: hop + 1})
+			}
+		}
 		resp, err := c.hc.Do(r)
+		if att != nil {
+			if err != nil {
+				att.SetAttr("outcome", "transport")
+			} else {
+				att.SetUint("status", uint64(resp.StatusCode))
+			}
+			att.End()
+		}
 		var raw []byte
 		if err == nil {
 			raw, err = io.ReadAll(resp.Body)
@@ -334,14 +379,16 @@ func (c *Client) retryWait(resp *http.Response, err error, attempt int, req *htt
 	return 0, false
 }
 
-// responseError converts a non-2xx response into the matching typed error.
+// responseError converts a non-2xx response into the matching typed error,
+// carrying the server's X-Request-Id for cross-node log correlation.
 func responseError(resp *http.Response, raw []byte) error {
+	reqID := resp.Header.Get("X-Request-Id")
 	if resp.StatusCode == http.StatusTooManyRequests {
 		retry := time.Second
 		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
 			retry = time.Duration(v) * time.Second
 		}
-		return &ServerBusyError{RetryAfter: retry}
+		return &ServerBusyError{RetryAfter: retry, RequestID: reqID}
 	}
 	var payload struct {
 		Error string `json:"error"`
@@ -350,5 +397,5 @@ func responseError(resp *http.Response, raw []byte) error {
 	if json.Unmarshal(raw, &payload) == nil && payload.Error != "" {
 		msg = payload.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	return &APIError{Status: resp.StatusCode, Message: msg, RequestID: reqID}
 }

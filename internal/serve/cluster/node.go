@@ -120,13 +120,14 @@ func (c Config) withDefaults() Config {
 // degradation machinery around it. A Node with no peers behaves exactly
 // like the local server.
 type Node struct {
-	cfg     Config
-	local   *serve.Server
-	ring    *Ring
-	peers   []*PeerClient // index = replica identity; nil at Self and when standalone
-	clk     clock.Clock
-	logger  *slog.Logger
-	handler http.Handler
+	cfg         Config
+	local       *serve.Server
+	ring        *Ring
+	peers       []*PeerClient   // index = replica identity; nil at Self and when standalone
+	scrapeFails []atomic.Uint64 // per-peer /cluster/metrics scrape failures; same indexing as peers
+	clk         clock.Clock
+	logger      *slog.Logger
+	handler     http.Handler
 
 	forwarded      atomic.Uint64 // requests proxied to an owner
 	failovers      atomic.Uint64 // forwards that fell through to a secondary owner
@@ -155,6 +156,7 @@ func NewNode(local *serve.Server, cfg Config) *Node {
 	if len(cfg.Peers) > 0 {
 		n.ring = NewRing(len(cfg.Peers), cfg.Vnodes, cfg.Seed)
 		n.peers = make([]*PeerClient, len(cfg.Peers))
+		n.scrapeFails = make([]atomic.Uint64, len(cfg.Peers))
 		for i, url := range cfg.Peers {
 			if i == cfg.Self {
 				continue
@@ -171,7 +173,9 @@ func NewNode(local *serve.Server, cfg Config) *Node {
 	mux.HandleFunc("POST /v1/graphs", n.handleUpload)
 	mux.HandleFunc("POST /v1/graphs/{hash}/delta", n.handleDeltaUpload)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("GET /cluster/metrics", n.handleClusterMetrics)
 	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	mux.HandleFunc("GET /debug/trace/{id}", n.handleTraceByID)
 	mux.Handle("/", local.Mux())
 	// One middleware layer over the union: cluster-routed and locally served
 	// requests share request IDs, root spans, and the request log.

@@ -13,7 +13,10 @@ import (
 
 	"github.com/asamap/asamap/internal/clock"
 	"github.com/asamap/asamap/internal/fault"
+	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/obs/propagate"
 	"github.com/asamap/asamap/internal/rng"
+	"github.com/asamap/asamap/internal/serve"
 )
 
 // ErrPeerDown reports a call rejected locally because the peer's circuit
@@ -116,37 +119,92 @@ func (p *PeerClient) Stats() PeerStats {
 // not of the order concurrent requests happen to hit the transport.
 func (p *PeerClient) Do(ctx context.Context, method, pathAndQuery string, hdr http.Header, body []byte, faultKey string) (*PeerResponse, error) {
 	key := rng.HashString(method + " " + pathAndQuery + "|" + faultKey)
+	// The peer gauntlet is traced per call and per attempt: the call span
+	// carries the target, each attempt span carries breaker state and outcome
+	// class (coarse, deterministic labels — raw error text embeds ephemeral
+	// ports), and the remote node roots its own request span under the
+	// attempt's ID via the propagated context, so each retry stitches to the
+	// exact attempt that caused it.
+	call := serve.RequestSpan(ctx).Child("peer.call")
+	call.SetUint("peer", uint64(p.peer))
+	call.SetAttr("target", method+" "+pathAndQuery)
+	defer call.End()
+	tid, hop := serve.RequestTrace(ctx)
 	var lastResp *PeerResponse
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if !p.breaker.Allow() {
+			call.SetAttr("outcome", "breaker-reject")
 			if lastResp != nil || lastErr != nil {
 				return lastResp, lastErr // breaker tripped mid-retry: surface the real outcome
 			}
 			return nil, &ErrPeerDown{Peer: p.peer, State: p.breaker.State()}
 		}
 		p.requests.Add(1)
-		resp, err := p.once(ctx, method, pathAndQuery, hdr, body, faultKey, attempt)
+		att := call.Child("peer.attempt")
+		att.SetUint("attempt", uint64(attempt))
+		att.SetAttr("breaker", p.breaker.State().String())
+		ahdr := hdr
+		if tid != 0 && hop < propagate.MaxHops {
+			ahdr = cloneHeader(hdr)
+			propagate.Inject(ahdr, propagate.Context{TraceID: tid, Parent: att.ID(), Hop: hop + 1})
+		}
+		resp, err, timedOut := p.once(ctx, method, pathAndQuery, ahdr, body, faultKey, attempt)
 		ok := err == nil && resp.Status < 500 && resp.Status != http.StatusTooManyRequests
 		p.breaker.Report(ok)
+		setAttemptOutcome(att, resp, err, timedOut)
 		if ok {
+			att.End()
 			return resp, nil
 		}
 		p.failures.Add(1)
 		lastResp, lastErr = resp, err
 		if ctx.Err() != nil {
+			att.End()
 			return nil, ctx.Err()
 		}
 		if attempt >= p.retries {
+			att.End()
 			return lastResp, lastErr
 		}
 		p.retried.Add(1)
+		wait := p.backoff.Wait(key, attempt+1)
+		att.SetUint("backoff_ns", uint64(wait))
+		att.End()
 		select {
-		case <-p.clk.After(p.backoff.Wait(key, attempt+1)):
+		case <-p.clk.After(wait):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// setAttemptOutcome records the attempt's result on its span: a coarse
+// deterministic outcome class plus volatile detail (timeout flag, error
+// text) that stays out of the canonical tree.
+func setAttemptOutcome(att *obs.Span, resp *PeerResponse, err error, timedOut bool) {
+	switch {
+	case err == nil && resp.Status < 500 && resp.Status != http.StatusTooManyRequests:
+		att.SetAttr("outcome", fmt.Sprintf("ok-%d", resp.Status))
+	case err == nil:
+		att.SetAttr("outcome", fmt.Sprintf("http-%d", resp.Status))
+	default:
+		att.SetAttr("outcome", "transport")
+		att.SetVolatileAttr("error", err.Error())
+	}
+	if timedOut {
+		att.SetVolatileBool("timeout", true)
+	}
+}
+
+// cloneHeader copies h so per-attempt injection never mutates the caller's
+// header map.
+func cloneHeader(h http.Header) http.Header {
+	out := make(http.Header, len(h)+1)
+	for k, vs := range h {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
 }
 
 // once runs a single attempt under the per-attempt timeout. The timeout is
@@ -154,7 +212,7 @@ func (p *PeerClient) Do(ctx context.Context, method, pathAndQuery string, hdr ht
 // request context is canceled when the clock fires, and the goroutine is
 // always joined before returning — an abandoned attempt cannot outlive the
 // call or leak.
-func (p *PeerClient) once(ctx context.Context, method, pathAndQuery string, hdr http.Header, body []byte, faultKey string, attempt int) (*PeerResponse, error) {
+func (p *PeerClient) once(ctx context.Context, method, pathAndQuery string, hdr http.Header, body []byte, faultKey string, attempt int) (_ *PeerResponse, _ error, timedOut bool) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var rd io.Reader
@@ -163,7 +221,7 @@ func (p *PeerClient) once(ctx context.Context, method, pathAndQuery string, hdr 
 	}
 	req, err := http.NewRequestWithContext(cctx, method, p.base+pathAndQuery, rd)
 	if err != nil {
-		return nil, err
+		return nil, err, false
 	}
 	for k, vs := range hdr {
 		for _, v := range vs {
@@ -205,15 +263,15 @@ func (p *PeerClient) once(ctx context.Context, method, pathAndQuery string, hdr 
 	select {
 	case r := <-done:
 		wg.Wait()
-		return r.resp, r.err
+		return r.resp, r.err, false
 	case <-timeoutCh:
 		cancel() // aborts the in-flight exchange through the request context
 		r := <-done
 		wg.Wait()
 		if r.err != nil {
 			p.timeouts.Add(1)
-			return nil, fmt.Errorf("cluster: peer %d timed out after %s: %w", p.peer, p.timeout, r.err)
+			return nil, fmt.Errorf("cluster: peer %d timed out after %s: %w", p.peer, p.timeout, r.err), true
 		}
-		return r.resp, nil // the exchange won the race after all — keep it
+		return r.resp, nil, false // the exchange won the race after all — keep it
 	}
 }

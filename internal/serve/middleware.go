@@ -7,16 +7,20 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"time"
 
 	"github.com/asamap/asamap/internal/obs"
+	"github.com/asamap/asamap/internal/obs/propagate"
 	"github.com/asamap/asamap/internal/rng"
 )
 
 // requestState travels with a request's context: the request's root span (the
-// parent for any detection run it triggers) and a logger pre-tagged with the
-// request ID.
+// parent for any detection run it triggers), the forwarding depth the request
+// arrived at (0 when the client spoke to us directly), and a logger
+// pre-tagged with the request ID.
 type requestState struct {
 	span   *obs.Span
+	hop    int
 	logger *slog.Logger
 }
 
@@ -37,6 +41,17 @@ func requestSpan(ctx context.Context) *obs.Span {
 // The cluster node uses it to annotate requests with their routing path
 // (forwarded, degraded, peer-cache) without re-implementing the middleware.
 func RequestSpan(ctx context.Context) *obs.Span { return requestSpan(ctx) }
+
+// RequestTrace returns the distributed trace ID the request is recorded
+// under and the forwarding depth it arrived at. Outbound cluster calls use
+// both to build the propagated context (hop+1 under the caller's attempt
+// span). Zero trace means "outside the middleware" — nothing to propagate.
+func RequestTrace(ctx context.Context) (trace uint64, hop int) {
+	if st, ok := ctx.Value(reqKey{}).(*requestState); ok {
+		return st.span.Trace(), st.hop
+	}
+	return 0, 0
+}
 
 // requestLogger returns the request-ID-tagged logger, or the fallback when
 // the handler runs outside the middleware.
@@ -94,14 +109,30 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-Id", reqID)
 
-		span := s.tracer.Begin("request")
+		// A propagated trace context roots this request's spans under the
+		// sender's attempt span; the header is consumed here so handlers never
+		// re-forward a stale context. Untraced (or malformed) requests start a
+		// fresh trace rooted at this node.
+		var span *obs.Span
+		hop := 0
+		if pc, ok := propagate.Extract(r.Header); ok {
+			span = s.tracer.BeginRemote("request", pc.TraceID, pc.Parent)
+			hop = pc.Hop
+		} else {
+			span = s.tracer.Begin("request")
+		}
+		propagate.Strip(r.Header)
 		span.SetAttr("method", r.Method)
 		span.SetAttr("path", r.URL.Path)
+		span.SetUint("hop", uint64(hop))
 		span.SetVolatileAttr("request_id", reqID)
+		if tid := span.Trace(); tid != 0 {
+			w.Header().Set(propagate.ResponseHeader, propagate.FormatID(tid))
+		}
 		logger := obs.WithRequestID(s.logger, reqID)
 		sw := &statusWriter{ResponseWriter: w}
 		r = r.WithContext(context.WithValue(r.Context(), reqKey{},
-			&requestState{span: span, logger: logger}))
+			&requestState{span: span, hop: hop, logger: logger}))
 
 		defer func() {
 			if p := recover(); p != nil {
@@ -161,18 +192,79 @@ func readBuildInfo() BuildInfo {
 	return out
 }
 
-// traceSpanPayload is the wire form of one span on /debug/trace: hex IDs,
-// microsecond offsets from the tracer epoch, and both attribute classes.
-type traceSpanPayload struct {
+// SpanPayload is the wire form of one span on /debug/trace and the per-trace
+// collection endpoints: hex IDs, microsecond offsets from the tracer epoch,
+// and both attribute classes. It round-trips to obs.SpanData so the cluster
+// router can stitch peer-reported spans into one merged trace.
+type SpanPayload struct {
 	ID            string     `json:"id"`
 	Parent        string     `json:"parent,omitempty"`
+	Trace         string     `json:"trace,omitempty"`
 	Name          string     `json:"name"`
+	Seq           uint64     `json:"seq,omitempty"`
 	Track         int        `json:"track,omitempty"`
 	Volatile      bool       `json:"volatile,omitempty"`
+	Remote        bool       `json:"remote,omitempty"`
 	StartUS       int64      `json:"start_us"`
 	DurUS         int64      `json:"dur_us"`
 	Attrs         []obs.Attr `json:"attrs,omitempty"`
 	VolatileAttrs []obs.Attr `json:"volatile_attrs,omitempty"`
+}
+
+// NewSpanPayload renders sp with timestamps relative to epoch.
+func NewSpanPayload(sp obs.SpanData, epoch time.Time) SpanPayload {
+	p := SpanPayload{
+		ID:            propagate.FormatID(sp.ID),
+		Name:          sp.Name,
+		Seq:           sp.Seq,
+		Track:         sp.Track,
+		Volatile:      sp.Volatile,
+		Remote:        sp.Remote,
+		StartUS:       sp.Start.Sub(epoch).Microseconds(),
+		DurUS:         sp.Duration().Microseconds(),
+		Attrs:         sp.Attrs,
+		VolatileAttrs: sp.VolatileAttrs,
+	}
+	if sp.Parent != 0 {
+		p.Parent = propagate.FormatID(sp.Parent)
+	}
+	if sp.Trace != 0 {
+		p.Trace = propagate.FormatID(sp.Trace)
+	}
+	return p
+}
+
+// SpanData reconstructs the span against the given epoch (peer epochs are
+// not aligned; the caller picks what the rebuilt timestamps mean). Malformed
+// IDs reject the whole span — a corrupt payload must not graft onto ID 0.
+func (p SpanPayload) SpanData(epoch time.Time) (obs.SpanData, error) {
+	id, err := propagate.ParseID(p.ID)
+	if err != nil {
+		return obs.SpanData{}, err
+	}
+	out := obs.SpanData{
+		ID:            id,
+		Name:          p.Name,
+		Seq:           p.Seq,
+		Track:         p.Track,
+		Volatile:      p.Volatile,
+		Remote:        p.Remote,
+		Attrs:         p.Attrs,
+		VolatileAttrs: p.VolatileAttrs,
+	}
+	if p.Parent != "" {
+		if out.Parent, err = propagate.ParseID(p.Parent); err != nil {
+			return obs.SpanData{}, err
+		}
+	}
+	if p.Trace != "" {
+		if out.Trace, err = propagate.ParseID(p.Trace); err != nil {
+			return obs.SpanData{}, err
+		}
+	}
+	out.Start = epoch.Add(time.Duration(p.StartUS) * time.Microsecond)
+	out.End = out.Start.Add(time.Duration(p.DurUS) * time.Microsecond)
+	return out, nil
 }
 
 // debugTraceDefaultSpans bounds an unparameterized /debug/trace response.
@@ -192,22 +284,9 @@ func (s *Server) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
 	}
 	spans := s.tracer.Snapshot(n)
 	epoch := s.tracer.Epoch()
-	out := make([]traceSpanPayload, len(spans))
+	out := make([]SpanPayload, len(spans))
 	for i, sp := range spans {
-		p := traceSpanPayload{
-			ID:            fmt.Sprintf("%016x", sp.ID),
-			Name:          sp.Name,
-			Track:         sp.Track,
-			Volatile:      sp.Volatile,
-			StartUS:       sp.Start.Sub(epoch).Microseconds(),
-			DurUS:         sp.Duration().Microseconds(),
-			Attrs:         sp.Attrs,
-			VolatileAttrs: sp.VolatileAttrs,
-		}
-		if sp.Parent != 0 {
-			p.Parent = fmt.Sprintf("%016x", sp.Parent)
-		}
-		out[i] = p
+		out[i] = NewSpanPayload(sp, epoch)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"retained": s.tracer.Len(),

@@ -215,7 +215,7 @@ func TestDebugTraceEndpoint(t *testing.T) {
 	defer resp.Body.Close()
 	var payload struct {
 		Retained int                `json:"retained"`
-		Spans    []traceSpanPayload `json:"spans"`
+		Spans    []SpanPayload `json:"spans"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestDebugTraceEndpoint(t *testing.T) {
 	if payload.Retained == 0 || len(payload.Spans) == 0 {
 		t.Fatalf("no spans retained: %+v", payload)
 	}
-	byID := map[string]traceSpanPayload{}
+	byID := map[string]SpanPayload{}
 	count := map[string]int{}
 	for _, sp := range payload.Spans {
 		byID[sp.ID] = sp

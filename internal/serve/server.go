@@ -100,10 +100,12 @@ type Server struct {
 	reqHist  *trace.Histogram // end-to-end request latency
 	waitHist *trace.Histogram // detection-job queue wait
 	build    BuildInfo
-	idSalt   uint64 // salts generated request IDs across server instances
+	idSalt   uint64        // salts generated request IDs across server instances
+	rt       *runtimeStats // Go runtime gauges + GC pause histogram
 
-	runs   atomic.Uint64 // detection runs actually executed (not cache/coalesced)
-	reqSeq atomic.Uint64 // generated-request-ID counter
+	runs      atomic.Uint64 // detection runs actually executed (not cache/coalesced)
+	reqSeq    atomic.Uint64 // generated-request-ID counter
+	profiling atomic.Bool   // guards the single-flight CPU profile
 }
 
 // New constructs a Server from cfg.
@@ -149,6 +151,7 @@ func New(cfg Config) *Server {
 		waitHist: trace.NewLatencyHistogram(),
 		build:    readBuildInfo(),
 		idSalt:   rng.Hash64(uint64(started.UnixNano())),
+		rt:       newRuntimeStats(),
 	}
 	s.queue.SetWaitHist(s.waitHist)
 	mux := http.NewServeMux()
@@ -162,7 +165,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/snapshot", s.handleMetricsSnapshot)
 	mux.HandleFunc("GET /debug/trace", s.handleTraceDebug)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceByID)
+	mux.HandleFunc("GET /debug/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -797,6 +803,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE asamap_registry_parses_total counter\nasamap_registry_parses_total %d\n", rs.Parses)
 	fmt.Fprintf(w, "# TYPE asamap_registry_raw_hits_total counter\nasamap_registry_raw_hits_total %d\n", rs.RawHits)
 	fmt.Fprintf(w, "# TYPE asamap_runs_total counter\nasamap_runs_total %d\n", s.runs.Load())
+	s.writeRuntimeMetrics(w)
 	s.reqHist.Snapshot().WritePrometheus(w, "asamap_request_seconds",
 		"End-to-end HTTP request latency.")
 	s.waitHist.Snapshot().WritePrometheus(w, "asamap_queue_wait_seconds",

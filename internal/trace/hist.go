@@ -71,6 +71,58 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 // NewLatencyHistogram returns a histogram over DefaultLatencyBounds.
 func NewLatencyHistogram() *Histogram { return NewHistogram(DefaultLatencyBounds()) }
 
+// DefaultGCPauseBounds returns the fixed bucket upper bounds for GC
+// stop-the-world pause histograms: a finer exponential ladder from 10µs to
+// 1s, matched to the sub-millisecond pauses of Go's collector. All nodes use
+// the same bounds so cluster federation can Merge them exactly.
+func DefaultGCPauseBounds() []time.Duration {
+	return []time.Duration{
+		10 * time.Microsecond,
+		25 * time.Microsecond,
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		1 * time.Millisecond,
+		2500 * time.Microsecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		1 * time.Second,
+	}
+}
+
+// NewHistogramFromSnapshot reconstructs a live histogram from a snapshot
+// that crossed the wire (the /metrics/snapshot federation path). Unlike
+// NewHistogram it validates with errors rather than panics — remote data is
+// input, not programmer error.
+func NewHistogramFromSnapshot(s HistogramSnapshot) (*Histogram, error) {
+	if len(s.Bounds) == 0 {
+		return nil, fmt.Errorf("trace: snapshot has no bucket bounds")
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		if s.Bounds[i] <= s.Bounds[i-1] {
+			return nil, fmt.Errorf("trace: snapshot bounds not strictly increasing at %d (%v <= %v)",
+				i, s.Bounds[i], s.Bounds[i-1])
+		}
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		return nil, fmt.Errorf("trace: snapshot has %d counts for %d bounds (want %d)",
+			len(s.Counts), len(s.Bounds), len(s.Bounds)+1)
+	}
+	h := &Histogram{
+		bounds: append([]time.Duration(nil), s.Bounds...),
+		counts: append([]uint64(nil), s.Counts...),
+		sum:    s.Sum,
+		total:  s.Count,
+	}
+	return h, nil
+}
+
 // Observe records one duration sample. Negative durations clamp to zero.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
